@@ -1,0 +1,108 @@
+//! Counter-line micro-benchmarks: increment and codec throughput for every
+//! organization. These are the innermost operations of the secure-memory
+//! controller; the paper argues decoding is negligible next to AES
+//! (§III-B2) — compare with the `crypto` benchmarks to verify.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use morphtree_bench::SplitMix64;
+use morphtree_core::counters::morph::{MorphLine, MorphMode};
+use morphtree_core::counters::split::{SplitConfig, SplitLine};
+use morphtree_core::counters::CounterLine;
+
+fn bench_increments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("increment");
+
+    group.bench_function("sc64_hot_slot", |b| {
+        let mut line = SplitLine::new(SplitConfig::with_arity(64));
+        b.iter(|| black_box(line.increment(black_box(7))));
+    });
+
+    group.bench_function("sc128_hot_slot", |b| {
+        let mut line = SplitLine::new(SplitConfig::with_arity(128));
+        b.iter(|| black_box(line.increment(black_box(7))));
+    });
+
+    group.bench_function("morph_sparse_zcc", |b| {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        for slot in 0..10 {
+            line.increment(slot);
+        }
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let slot = (rng.next_u64() % 10) as usize;
+            black_box(line.increment(slot))
+        });
+    });
+
+    group.bench_function("morph_dense_mcr_roundrobin", |b| {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        for slot in 0..128 {
+            line.increment(slot);
+        }
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 128;
+            black_box(line.increment(slot))
+        });
+    });
+
+    group.bench_function("morph_random_all_formats", |b| {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let slot = (rng.next_u64() % 128) as usize;
+            black_box(line.increment(slot))
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+
+    let mut sparse = MorphLine::new(MorphMode::ZccRebase);
+    for slot in 0..16 {
+        for _ in 0..100 {
+            sparse.increment(slot);
+        }
+    }
+    group.bench_function("morph_encode_zcc", |b| {
+        b.iter(|| black_box(sparse.encode()));
+    });
+    let image = sparse.encode();
+    group.bench_function("morph_decode_zcc", |b| {
+        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image))));
+    });
+
+    let mut dense = MorphLine::new(MorphMode::ZccRebase);
+    for slot in 0..128 {
+        dense.increment(slot);
+    }
+    group.bench_function("morph_encode_mcr", |b| {
+        b.iter(|| black_box(dense.encode()));
+    });
+    let image = dense.encode();
+    group.bench_function("morph_decode_mcr", |b| {
+        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image))));
+    });
+
+    let config = SplitConfig::with_arity(64);
+    let mut split = SplitLine::new(config);
+    for slot in 0..64 {
+        split.increment(slot);
+    }
+    group.bench_function("sc64_encode", |b| {
+        b.iter(|| black_box(split.encode()));
+    });
+    let image = split.encode();
+    group.bench_function("sc64_decode", |b| {
+        b.iter(|| black_box(SplitLine::decode(config, black_box(&image))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_increments, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Crypto substrate benchmarks: AES-128 blocks, 64-byte one-time pads, and
+//! SipHash-2-4 line MACs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use morphtree_crypto::{Aes128, CtrModeCipher, MacKey};
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes");
+    group.throughput(Throughput::Bytes(16));
+    let cipher = Aes128::new(&[7u8; 16]);
+    let block = [0x3cu8; 16];
+    group.bench_function("encrypt_block", |b| {
+        b.iter(|| black_box(cipher.encrypt_block(black_box(&block))));
+    });
+    group.bench_function("key_schedule", |b| {
+        b.iter(|| black_box(Aes128::new(black_box(&[9u8; 16]))));
+    });
+    group.finish();
+}
+
+fn bench_otp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("otp");
+    group.throughput(Throughput::Bytes(64));
+    let cipher = CtrModeCipher::new([1u8; 16]);
+    let line = [0xa5u8; 64];
+    group.bench_function("one_time_pad", |b| {
+        b.iter(|| black_box(cipher.one_time_pad(black_box(0x1000), black_box(42))));
+    });
+    group.bench_function("encrypt_line", |b| {
+        b.iter(|| black_box(cipher.encrypt_line(0x1000, 42, black_box(&line))));
+    });
+    group.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac");
+    group.throughput(Throughput::Bytes(64));
+    let key = MacKey::new([2u8; 16]);
+    let line = [0x77u8; 64];
+    group.bench_function("mac_line", |b| {
+        b.iter(|| black_box(key.mac_line(black_box(0x40), black_box(7), black_box(&line))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_otp, bench_mac);
+criterion_main!(benches);

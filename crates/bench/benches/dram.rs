@@ -1,0 +1,50 @@
+//! DDR3 model benchmarks: request throughput for row-friendly and
+//! row-hostile streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use morphtree_bench::SplitMix64;
+use morphtree_sim::dram::DramModel;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_request");
+
+    group.bench_function("sequential_row_hits", |b| {
+        let mut dram = DramModel::default();
+        let mut addr = 0u64;
+        let mut at = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            at = at.wrapping_add(4);
+            black_box(dram.request(at, addr, false))
+        });
+    });
+
+    group.bench_function("random_conflicts", |b| {
+        let mut dram = DramModel::default();
+        let mut rng = SplitMix64::new(5);
+        let mut at = 0u64;
+        b.iter(|| {
+            at = at.wrapping_add(4);
+            let addr = (rng.next_u64() % (1 << 30)) & !63;
+            black_box(dram.request(at, addr, false))
+        });
+    });
+
+    group.bench_function("mixed_reads_writes", |b| {
+        let mut dram = DramModel::default();
+        let mut rng = SplitMix64::new(6);
+        let mut at = 0u64;
+        b.iter(|| {
+            at = at.wrapping_add(4);
+            let r = rng.next_u64();
+            let addr = (r % (1 << 30)) & !63;
+            black_box(dram.request(at, addr, r & 3 == 0))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Metadata-engine benchmarks: reads and writes through the tree walk,
+//! per configuration — the per-access cost of the timing model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use morphtree_bench::SplitMix64;
+use morphtree_core::metadata::{MacMode, MetadataEngine};
+use morphtree_core::tree::TreeConfig;
+
+const MEMORY: u64 = 256 << 20;
+const CACHE: usize = 8 * 1024;
+const FOOTPRINT_LINES: u64 = (64 << 20) / 64;
+
+fn engine(config: TreeConfig) -> MetadataEngine {
+    MetadataEngine::new(config, MEMORY, CACHE, MacMode::Inline)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_read");
+    for config in [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()] {
+        group.bench_function(config.name().to_owned(), |b| {
+            let mut e = engine(config.clone());
+            let mut rng = SplitMix64::new(3);
+            let mut out = Vec::with_capacity(64);
+            b.iter(|| {
+                let line = rng.next_u64() % FOOTPRINT_LINES;
+                out.clear();
+                e.read(black_box(line), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_write");
+    for config in [TreeConfig::sc64(), TreeConfig::sc128(), TreeConfig::morphtree()] {
+        group.bench_function(config.name().to_owned(), |b| {
+            let mut e = engine(config.clone());
+            let mut rng = SplitMix64::new(4);
+            let mut out = Vec::with_capacity(512);
+            b.iter(|| {
+                // Hot writes: stress increments and overflow handling.
+                let line = rng.next_u64() % 4096;
+                out.clear();
+                e.write(black_box(line), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_writes);
+criterion_main!(benches);

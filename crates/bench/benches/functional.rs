@@ -1,0 +1,41 @@
+//! Functional secure-memory benchmarks: the cost of real encryption + MAC
+//! chains per write and verified read.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use morphtree_bench::SplitMix64;
+use morphtree_core::functional::SecureMemory;
+use morphtree_core::tree::TreeConfig;
+
+fn bench_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_memory");
+    group.throughput(Throughput::Bytes(64));
+
+    for config in [TreeConfig::sc64(), TreeConfig::morphtree()] {
+        group.bench_function(format!("write_{}", config.name()), |b| {
+            let mut memory = SecureMemory::new(config.clone(), 16 << 20, [3; 16]);
+            let mut rng = SplitMix64::new(7);
+            let payload = [0xabu8; 64];
+            b.iter(|| {
+                let line = rng.next_u64() % 4096;
+                memory.write(black_box(line), black_box(&payload));
+            });
+        });
+
+        group.bench_function(format!("verified_read_{}", config.name()), |b| {
+            let mut memory = SecureMemory::new(config.clone(), 16 << 20, [3; 16]);
+            for line in 0..4096 {
+                memory.write(line, &[line as u8; 64]);
+            }
+            let mut rng = SplitMix64::new(8);
+            b.iter(|| {
+                let line = rng.next_u64() % 4096;
+                black_box(memory.read(black_box(line)).expect("verified"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Trace-generation benchmarks: records per second for representative
+//! pattern classes (the simulator's input side).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use morphtree_trace::catalog::Benchmark;
+use morphtree_trace::workload::SystemWorkload;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    for name in ["mcf", "libquantum", "pr-twit", "GemsFDTD"] {
+        group.bench_function(name, |b| {
+            let bench = Benchmark::by_name(name).expect("catalog");
+            let mut workload = SystemWorkload::rate(bench, 4, 16 << 30, 1);
+            let mut core = 0;
+            b.iter(|| {
+                core = (core + 1) % 4;
+                black_box(workload.next_record(core))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

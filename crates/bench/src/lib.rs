@@ -1,0 +1,54 @@
+//! Shared helpers for the Criterion micro-benchmarks (see `benches/`).
+//!
+//! The benchmarks cover the hot paths of the reproduction:
+//!
+//! - `counters` — increment/encode/decode throughput of every counter
+//!   organization (the innermost loop of the whole simulator);
+//! - `crypto` — AES-128 blocks, one-time pads, SipHash line MACs;
+//! - `engine` — metadata-engine reads/writes per tree configuration;
+//! - `dram` — DDR3 model request throughput (row hits vs conflicts);
+//! - `functional` — byte-level secure-memory writes and verified reads;
+//! - `workloads` — synthetic trace-generation throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A tiny deterministic PRNG (splitmix64) for benchmark inputs, so results
+/// are comparable across runs without pulling `rand` into the hot loop.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varied() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+}

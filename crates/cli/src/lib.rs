@@ -1,0 +1,442 @@
+//! Library backing the `morphtree` command-line tool.
+//!
+//! Commands (see `morphtree help`):
+//!
+//! - `geometry` — integrity-tree sizes/heights for any memory size;
+//! - `simulate` — run the full-system simulator on a Table II workload;
+//! - `capture` / `replay` — record a workload to an `MTRC` trace file and
+//!   drive the simulator from it;
+//! - `attack` — functional tamper/replay demonstration;
+//! - `list` — available workloads and tree configurations.
+//!
+//! Argument parsing is hand-rolled (`--key value` flags) to keep the
+//! dependency set minimal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use morphtree_core::functional::SecureMemory;
+use morphtree_core::tree::{TreeConfig, TreeGeometry};
+use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig};
+use morphtree_trace::catalog::{Benchmark, MIXES};
+use morphtree_trace::io::RecordedTrace;
+use morphtree_trace::workload::SystemWorkload;
+
+/// Errors surfaced to the command line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects stray positionals and flags without values.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut values = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(err(format!("unexpected argument `{arg}` (flags are --key value)")));
+            };
+            let Some(value) = iter.next() else {
+                return Err(err(format!("flag --{key} needs a value")));
+            };
+            values.insert(key.to_owned(), value.clone());
+        }
+        Ok(Flags { values })
+    }
+
+    /// String flag with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map_or(default, String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Errors if missing.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("missing required flag --{key}")))
+    }
+
+    /// Numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Errors if present but unparsable.
+    pub fn number_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .replace('_', "")
+                .parse()
+                .map_err(|_| err(format!("--{key} expects a number, got `{raw}`"))),
+        }
+    }
+}
+
+/// Resolves a tree configuration by CLI name.
+///
+/// # Errors
+///
+/// Errors on unknown names.
+pub fn tree_by_name(name: &str) -> Result<TreeConfig, CliError> {
+    match name {
+        "sgx" => Ok(TreeConfig::sgx()),
+        "vault" => Ok(TreeConfig::vault()),
+        "sc64" => Ok(TreeConfig::sc64()),
+        "sc128" => Ok(TreeConfig::sc128()),
+        "morph" | "morphtree" => Ok(TreeConfig::morphtree()),
+        "morph-zcc" => Ok(TreeConfig::morphtree_zcc_only()),
+        "morph-single-base" => Ok(TreeConfig::morphtree_single_base()),
+        other => Err(err(format!(
+            "unknown config `{other}` (try: sgx, vault, sc64, sc128, morph, morph-zcc, morph-single-base)"
+        ))),
+    }
+}
+
+/// Top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "morphtree — Morphable Counters secure-memory reproduction (MICRO 2018)\n\
+     \n\
+     USAGE: morphtree <command> [--flag value]...\n\
+     \n\
+     COMMANDS:\n\
+     \x20 geometry  [--memory-gib 16] [--config all|sc64|morph|...]\n\
+     \x20 simulate  --workload NAME [--config morph] [--scale 16]\n\
+     \x20           [--instructions 2000000] [--warmup 4000000] [--seed 42]\n\
+     \x20 capture   --workload NAME --out FILE [--records 100000] [--cores 4]\n\
+     \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
+     \x20 attack    [--config morph]\n\
+     \x20 list\n\
+     \x20 help\n"
+        .to_owned()
+}
+
+/// Runs a command; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad input.
+pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    match command {
+        "geometry" => cmd_geometry(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "capture" => cmd_capture(&flags),
+        "replay" => cmd_replay(&flags),
+        "attack" => cmd_attack(&flags),
+        "list" => Ok(cmd_list()),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(err(format!("unknown command `{other}`\n\n{}", usage()))),
+    }
+}
+
+fn human(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 30 => format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64),
+        b if b >= 1 << 20 => format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64),
+        b => format!("{b} B"),
+    }
+}
+
+fn cmd_geometry(flags: &Flags) -> Result<String, CliError> {
+    let gib = flags.number_or("memory-gib", 16)?;
+    if gib == 0 {
+        return Err(err("--memory-gib must be positive"));
+    }
+    let memory = gib << 30;
+    let configs: Vec<TreeConfig> = match flags.get_or("config", "all") {
+        "all" => vec![
+            TreeConfig::sgx(),
+            TreeConfig::vault(),
+            TreeConfig::sc64(),
+            TreeConfig::sc128(),
+            TreeConfig::morphtree(),
+        ],
+        name => vec![tree_by_name(name)?],
+    };
+    let mut out = format!("integrity-tree geometry for {gib} GiB\n\n");
+    for config in configs {
+        let g = TreeGeometry::new(&config, memory);
+        writeln!(
+            out,
+            "{:<26} {} levels | counters {:>10} ({:.3}%) | tree {:>10} ({:.4}%)",
+            config.name(),
+            g.height(),
+            human(g.enc_bytes()),
+            g.enc_overhead() * 100.0,
+            human(g.tree_bytes()),
+            g.tree_overhead() * 100.0,
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn sim_config(flags: &Flags) -> Result<(SimConfig, u64, u64), CliError> {
+    let scale = flags.number_or("scale", 16)?.max(1);
+    let seed = flags.number_or("seed", 42)?;
+    let cfg = SimConfig {
+        memory_bytes: (16 << 30) / scale,
+        metadata_cache_bytes: ((128 * 1024) / scale).max(4096) as usize,
+        warmup_instructions: flags.number_or("warmup", 4_000_000)?,
+        measure_instructions: flags.number_or("instructions", 2_000_000)?,
+        ..SimConfig::default()
+    };
+    Ok((cfg, scale, seed))
+}
+
+fn workload_by_name(
+    name: &str,
+    cores: usize,
+    memory: u64,
+    seed: u64,
+    scale: u64,
+) -> Result<SystemWorkload, CliError> {
+    if let Some(mix) = MIXES.iter().find(|m| m.name == name) {
+        return Ok(SystemWorkload::mix(mix, memory, seed));
+    }
+    let bench = Benchmark::by_name(name)
+        .ok_or_else(|| err(format!("unknown workload `{name}` (see `morphtree list`)")))?;
+    Ok(SystemWorkload::rate_scaled(bench, cores, memory, seed, scale))
+}
+
+fn format_result(result: &morphtree_sim::system::SimResult, baseline_ipc: f64) -> String {
+    format!
+    (
+        "{:<26} IPC {:>6.3} | vs non-secure {:>6.3} | traffic {:>6.3}/access | ovfl {:>7.1}/M | EDP {:.3e} J*s\n",
+        result.config,
+        result.ipc(),
+        result.ipc() / baseline_ipc,
+        result.traffic_per_data_access(),
+        result.engine.overflows_per_million_accesses(),
+        result.energy.edp(),
+    )
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    let name = flags.required("workload")?;
+    let (cfg, scale, seed) = sim_config(flags)?;
+    let mut out = format!(
+        "simulating `{name}` at scale {scale} ({} memory, {} metadata cache)\n\n",
+        human(cfg.memory_bytes),
+        human(cfg.metadata_cache_bytes as u64),
+    );
+    let base = {
+        let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
+        simulate_nonsecure(&mut w, &cfg)
+    };
+    out.push_str(&format_result(&base, base.ipc()));
+    let configs: Vec<TreeConfig> = match flags.get_or("config", "compare") {
+        "compare" => vec![TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()],
+        other => vec![tree_by_name(other)?],
+    };
+    for tree in configs {
+        let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
+        let result = simulate(&mut w, tree, &cfg);
+        out.push_str(&format_result(&result, base.ipc()));
+    }
+    Ok(out)
+}
+
+fn cmd_capture(flags: &Flags) -> Result<String, CliError> {
+    let name = flags.required("workload")?;
+    let path = flags.required("out")?;
+    let records = flags.number_or("records", 100_000)? as usize;
+    let cores = flags.number_or("cores", 4)? as usize;
+    let (cfg, scale, seed) = sim_config(flags)?;
+    let mut workload = workload_by_name(name, cores, cfg.memory_bytes, seed, scale)?;
+    let trace = RecordedTrace::capture(&mut workload, records);
+    trace
+        .save(path)
+        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    Ok(format!(
+        "captured {records} records/core x {cores} cores of `{name}` to {path}\n"
+    ))
+}
+
+fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.required("trace")?;
+    let (mut cfg, _, _) = sim_config(flags)?;
+    let mut trace =
+        RecordedTrace::load(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    use morphtree_trace::workload::RecordSource;
+    cfg.cores = trace.num_cores();
+    let tree = tree_by_name(flags.get_or("config", "morph"))?;
+    let result = simulate(&mut trace, tree, &cfg);
+    let mut out = format!(
+        "replayed `{}` ({} cores) from {path}\n\n",
+        result.workload, cfg.cores
+    );
+    out.push_str(&format_result(&result, result.ipc()));
+    Ok(out)
+}
+
+fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
+    let tree = tree_by_name(flags.get_or("config", "morph"))?;
+    let mut out = format!("functional attack demo on {}\n\n", tree.name());
+    let mut memory = SecureMemory::new(tree, 1 << 20, *b"morphtree-cli-k!");
+    memory.write(1, &[0x41; 64]);
+    assert_eq!(memory.read(1).expect("verified"), [0x41; 64]);
+    out.push_str("write/read round-trip: OK\n");
+
+    memory.tamper_raw(1, 5, 0xff);
+    match memory.read(1) {
+        Err(e) => writeln!(out, "bit-flip tampering:    detected ({e})").expect("write"),
+        Ok(_) => return Err(err("tampering was NOT detected — this is a bug".to_owned())),
+    }
+    memory.write(1, &[0x42; 64]);
+    let stale = memory.snapshot(1);
+    memory.write(1, &[0x43; 64]);
+    memory.replay(&stale);
+    match memory.read(1) {
+        Err(e) => writeln!(out, "replay attack:         detected ({e})").expect("write"),
+        Ok(_) => return Err(err("replay was NOT detected — this is a bug".to_owned())),
+    }
+    Ok(out)
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("workloads (Table II):\n");
+    for bench in Benchmark::all() {
+        writeln!(
+            out,
+            "  {:<12} {:>5.1} read-PKI {:>5.1} write-PKI {:>5.1} GB",
+            bench.name, bench.read_pki, bench.write_pki, bench.footprint_gb
+        )
+        .expect("write to string");
+    }
+    out.push_str("mixes: ");
+    for mix in &MIXES {
+        out.push_str(mix.name);
+        out.push(' ');
+    }
+    out.push_str(
+        "\nconfigs: sgx vault sc64 sc128 morph morph-zcc morph-single-base\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let flags = Flags::parse(&strs(&["--a", "1", "--b", "x"])).unwrap();
+        assert_eq!(flags.required("a").unwrap(), "1");
+        assert_eq!(flags.get_or("b", "y"), "x");
+        assert_eq!(flags.get_or("c", "y"), "y");
+        assert_eq!(flags.number_or("a", 9).unwrap(), 1);
+    }
+
+    #[test]
+    fn flags_reject_stray_positionals() {
+        assert!(Flags::parse(&strs(&["oops"])).is_err());
+        assert!(Flags::parse(&strs(&["--key"])).is_err());
+    }
+
+    #[test]
+    fn numbers_accept_underscores() {
+        let flags = Flags::parse(&strs(&["--n", "1_000_000"])).unwrap();
+        assert_eq!(flags.number_or("n", 0).unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn tree_names_resolve() {
+        assert_eq!(tree_by_name("morph").unwrap().name(), "MorphCtr-128");
+        assert_eq!(tree_by_name("sc64").unwrap().name(), "SC-64");
+        assert!(tree_by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn geometry_command_prints_the_paper_numbers() {
+        let out = run("geometry", &strs(&["--memory-gib", "16"])).unwrap();
+        assert!(out.contains("MorphCtr-128"), "{out}");
+        assert!(out.contains("3 levels"), "{out}");
+        assert!(out.contains("292.57 MiB") || out.contains("292.6"), "{out}");
+    }
+
+    #[test]
+    fn attack_command_detects_both_attacks() {
+        let out = run("attack", &[]).unwrap();
+        assert!(out.contains("bit-flip tampering:    detected"));
+        assert!(out.contains("replay attack:         detected"));
+    }
+
+    #[test]
+    fn list_command_covers_catalog() {
+        let out = cmd_list();
+        assert!(out.contains("mcf"));
+        assert!(out.contains("cc-web"));
+        assert!(out.contains("mix6"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let e = run("frobnicate", &[]).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn simulate_requires_a_workload() {
+        let e = run("simulate", &[]).unwrap_err();
+        assert!(e.0.contains("--workload"));
+    }
+
+    #[test]
+    fn capture_and_replay_roundtrip() {
+        let path = std::env::temp_dir().join("morphtree-cli-test.mtrc");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run(
+            "capture",
+            &strs(&["--workload", "milc", "--out", &path_str, "--records", "20000",
+                    "--cores", "2"]),
+        )
+        .unwrap();
+        assert!(out.contains("captured"));
+        let out = run(
+            "replay",
+            &strs(&["--trace", &path_str, "--config", "sc64", "--warmup", "50000",
+                    "--instructions", "50000"]),
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("replayed `milc`"), "{out}");
+        assert!(out.contains("SC-64"), "{out}");
+    }
+}

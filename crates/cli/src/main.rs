@@ -1,0 +1,21 @@
+//! The `morphtree` command-line tool (see `morphtree help`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print!("{}", morphtree_cli::usage());
+        return ExitCode::FAILURE;
+    };
+    match morphtree_cli::run(command, rest) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Closed-form "time to overflow" models — the analysis behind Fig 6 and
+//! Fig 10 of the paper.
+//!
+//! Both figures assume writes are distributed uniformly over the fraction
+//! `f` of counters in a line that are used at all. Under that assumption a
+//! line with `u = ⌈f·n⌉` used counters, each `b` bits wide, tolerates
+//! `u · 2^b` writes before some counter must wrap.
+
+use super::morph::{zcc_width, MORPH_ARITY};
+use super::split::SplitConfig;
+
+/// Number of counters used for a given fraction of an `arity`-counter line
+/// (at least one).
+#[must_use]
+pub fn used_for_fraction(arity: usize, fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    ((fraction * arity as f64).round() as usize).clamp(1, arity)
+}
+
+/// Writes tolerated before an overflow for a split-counter line where a
+/// fraction `fraction` of the counters receive uniform writes (Fig 6).
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::counters::analytic::split_writes_per_overflow;
+/// use morphtree_core::counters::split::SplitConfig;
+///
+/// // SC-64 in the worst case (one hot counter) overflows every 64 writes.
+/// let sc64 = SplitConfig::with_arity(64);
+/// assert_eq!(split_writes_per_overflow(sc64, 1.0 / 64.0), 64);
+/// // ...and tolerates 64 * 64 = 4096 writes under fully uniform usage.
+/// assert_eq!(split_writes_per_overflow(sc64, 1.0), 4096);
+/// ```
+#[must_use]
+pub fn split_writes_per_overflow(config: SplitConfig, fraction: f64) -> u64 {
+    let used = used_for_fraction(config.arity, fraction) as u64;
+    used * (1u64 << config.minor_bits)
+}
+
+/// Writes tolerated before an overflow for a MorphCtr-128 line in ZCC (or
+/// uniform) format (Fig 10): the width adapts to the number of used
+/// counters.
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::counters::analytic::zcc_writes_per_overflow;
+///
+/// // 16 used counters get 16 bits each: over a million writes.
+/// assert_eq!(zcc_writes_per_overflow(16.0 / 128.0), 16 << 16);
+/// // Fully dense usage falls back to 3-bit counters: 128 * 8 writes.
+/// assert_eq!(zcc_writes_per_overflow(1.0), 1024);
+/// ```
+#[must_use]
+pub fn zcc_writes_per_overflow(fraction: f64) -> u64 {
+    let used = used_for_fraction(MORPH_ARITY, fraction);
+    let bits = zcc_width(used).unwrap_or(3);
+    used as u64 * (1u64 << bits)
+}
+
+/// Writes tolerated before a *re-encryption-causing* event for MorphCtr-128
+/// with rebasing (§IV), under the same uniform-writes assumption.
+///
+/// With perfectly uniform writes to `u > 64` counters, every minor reaches
+/// its maximum together, each saturation rebase advances the base by the
+/// set minimum, and the line only resets when a 7-bit base is exhausted —
+/// multiplying tolerance by roughly the base range.
+#[must_use]
+pub fn rebasing_writes_per_overflow(fraction: f64) -> u64 {
+    let used = used_for_fraction(MORPH_ARITY, fraction);
+    if used <= 64 {
+        // Sparse usage stays in ZCC; rebasing adds nothing.
+        return zcc_writes_per_overflow(fraction);
+    }
+    // Dense uniform usage: each counter can absorb 2^3 writes per base step
+    // and the base can step through its 7-bit range.
+    used as u64 * (1u64 << 3) * (1u64 << MCR_BASE_BITS_ANALYTIC)
+}
+
+const MCR_BASE_BITS_ANALYTIC: u32 = 7;
+
+/// A point of the Fig 6 / Fig 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverflowSweepPoint {
+    /// Fraction of the counter cacheline used.
+    pub fraction: f64,
+    /// Writes tolerated per overflow.
+    pub writes_per_overflow: u64,
+}
+
+/// Sweeps `writes-per-overflow` across fractions `1/n, 2/n, …, 1` for the
+/// given model.
+pub fn sweep(arity: usize, model: impl Fn(f64) -> u64) -> Vec<OverflowSweepPoint> {
+    (1..=arity)
+        .map(|u| {
+            let fraction = u as f64 / arity as f64;
+            OverflowSweepPoint { fraction, writes_per_overflow: model(fraction) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn used_for_fraction_rounds_and_clamps() {
+        assert_eq!(used_for_fraction(64, 0.0), 1);
+        assert_eq!(used_for_fraction(64, 1.0), 64);
+        assert_eq!(used_for_fraction(64, 0.5), 32);
+        assert_eq!(used_for_fraction(128, 0.25), 32);
+    }
+
+    #[test]
+    fn sc128_tolerates_8x_fewer_writes_than_sc64_per_counter() {
+        // Fig 6's "8X" annotation: at the same *used-counter count* the
+        // 3-bit minors of SC-128 tolerate 8x fewer writes than 6-bit SC-64.
+        let sc64 = SplitConfig::with_arity(64);
+        let sc128 = SplitConfig::with_arity(128);
+        // 16 used counters in both lines.
+        let w64 = split_writes_per_overflow(sc64, 16.0 / 64.0);
+        let w128 = split_writes_per_overflow(sc128, 16.0 / 128.0);
+        assert_eq!(w64 / w128, 8);
+    }
+
+    #[test]
+    fn sc128_worst_case_is_8_writes() {
+        let sc128 = SplitConfig::with_arity(128);
+        assert_eq!(split_writes_per_overflow(sc128, 1.0 / 128.0), 8);
+    }
+
+    #[test]
+    fn zcc_beats_sc64_below_quarter_usage() {
+        // Fig 10: ZCC tolerates more writes when less than ~25% of the line
+        // is used, and fewer when the line is dense.
+        let sc64 = SplitConfig::with_arity(64);
+        for used in 1..=32usize {
+            let f = used as f64 / 128.0;
+            let zcc = zcc_writes_per_overflow(f);
+            // The same *absolute* number of hot counters on an SC-64 line.
+            let f64_frac = (used.min(64)) as f64 / 64.0;
+            let sc = split_writes_per_overflow(sc64, f64_frac);
+            assert!(zcc >= sc, "used={used}: zcc {zcc} < sc64 {sc}");
+        }
+        // Dense usage: 8x fewer.
+        assert_eq!(
+            split_writes_per_overflow(sc64, 1.0) / zcc_writes_per_overflow(1.0),
+            4
+        );
+    }
+
+    #[test]
+    fn zcc_peak_is_with_16_counters() {
+        assert_eq!(zcc_writes_per_overflow(16.0 / 128.0), 1 << 20);
+    }
+
+    #[test]
+    fn rebasing_extends_dense_tolerance() {
+        let dense_zcc = zcc_writes_per_overflow(1.0);
+        let dense_mcr = rebasing_writes_per_overflow(1.0);
+        assert!(dense_mcr > dense_zcc * 100);
+        // Sparse behaviour identical to ZCC.
+        assert_eq!(
+            rebasing_writes_per_overflow(0.1),
+            zcc_writes_per_overflow(0.1)
+        );
+    }
+
+    #[test]
+    fn sweep_covers_every_used_count() {
+        let points = sweep(64, |f| split_writes_per_overflow(SplitConfig::with_arity(64), f));
+        assert_eq!(points.len(), 64);
+        assert!((points[63].fraction - 1.0).abs() < 1e-12);
+        assert_eq!(points[0].writes_per_overflow, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn rejects_bad_fraction() {
+        let _ = used_for_fraction(64, 1.5);
+    }
+}

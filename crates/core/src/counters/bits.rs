@@ -1,0 +1,118 @@
+//! Bit-field packing helpers for 64-byte counter-line codecs.
+//!
+//! All counter organizations in the paper are defined as bit-level layouts
+//! of a 512-bit cacheline (Fig 8, Fig 13). These helpers read and write
+//! arbitrary-width little-endian bit fields so each codec can mirror its
+//! figure directly.
+
+use crate::CACHELINE_BYTES;
+
+/// Reads `width` bits starting at bit offset `bit` (LSB-first within the
+/// line) as a `u64`.
+///
+/// # Panics
+///
+/// Panics if `width > 64` or the field extends past the end of the line.
+pub fn get_bits(buf: &[u8; CACHELINE_BYTES], bit: usize, width: usize) -> u64 {
+    assert!(width <= 64, "field width {width} exceeds 64 bits");
+    assert!(bit + width <= CACHELINE_BYTES * 8, "field out of range");
+    let mut value = 0u64;
+    for i in 0..width {
+        let pos = bit + i;
+        let byte = buf[pos / 8];
+        if (byte >> (pos % 8)) & 1 == 1 {
+            value |= 1 << i;
+        }
+    }
+    value
+}
+
+/// Writes `width` bits of `value` starting at bit offset `bit`.
+///
+/// # Panics
+///
+/// Panics if `width > 64`, the field extends past the end of the line, or
+/// `value` does not fit in `width` bits.
+pub fn set_bits(buf: &mut [u8; CACHELINE_BYTES], bit: usize, width: usize, value: u64) {
+    assert!(width <= 64, "field width {width} exceeds 64 bits");
+    assert!(bit + width <= CACHELINE_BYTES * 8, "field out of range");
+    if width < 64 {
+        assert!(
+            value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+    }
+    for i in 0..width {
+        let pos = bit + i;
+        let mask = 1u8 << (pos % 8);
+        if (value >> i) & 1 == 1 {
+            buf[pos / 8] |= mask;
+        } else {
+            buf[pos / 8] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut buf = [0u8; CACHELINE_BYTES];
+        set_bits(&mut buf, 3, 7, 0x55);
+        assert_eq!(get_bits(&buf, 3, 7), 0x55);
+        // Neighbours untouched.
+        assert_eq!(get_bits(&buf, 0, 3), 0);
+        assert_eq!(get_bits(&buf, 10, 10), 0);
+    }
+
+    #[test]
+    fn roundtrip_across_byte_boundaries() {
+        let mut buf = [0u8; CACHELINE_BYTES];
+        set_bits(&mut buf, 13, 57, 0x1ff_ffff_ffff_ffff);
+        assert_eq!(get_bits(&buf, 13, 57), 0x1ff_ffff_ffff_ffff);
+    }
+
+    #[test]
+    fn full_width_field() {
+        let mut buf = [0u8; CACHELINE_BYTES];
+        set_bits(&mut buf, 448, 64, u64::MAX);
+        assert_eq!(get_bits(&buf, 448, 64), u64::MAX);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut buf = [0u8; CACHELINE_BYTES];
+        set_bits(&mut buf, 8, 8, 0xff);
+        set_bits(&mut buf, 8, 8, 0x01);
+        assert_eq!(get_bits(&buf, 8, 8), 0x01);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_value() {
+        let mut buf = [0u8; CACHELINE_BYTES];
+        set_bits(&mut buf, 0, 3, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_field() {
+        let buf = [0u8; CACHELINE_BYTES];
+        let _ = get_bits(&buf, 510, 8);
+    }
+
+    #[test]
+    fn dense_packing_of_3_bit_fields() {
+        // The SC-128 minor array: 128 x 3-bit fields must pack without
+        // interference.
+        let mut buf = [0u8; CACHELINE_BYTES];
+        for i in 0..128 {
+            set_bits(&mut buf, 64 + 3 * i, 3, (i % 8) as u64);
+        }
+        for i in 0..128 {
+            assert_eq!(get_bits(&buf, 64 + 3 * i, 3), (i % 8) as u64, "slot {i}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Bit-exact 64-byte encoding of morphable counter lines.
+//!
+//! The layouts realize Fig 8 and Fig 13 of the paper. The paper draws the
+//! 7-bit format field between the major counter and the minors; we place
+//! the family bit first so that a decoder can always find it at bit 0 —
+//! an equivalent-size representation choice (documented in DESIGN.md):
+//!
+//! ```text
+//! ZCC     [family=0:1][ctr-sz:6][major:57][bit-vector:128][non-zero ctrs:256][MAC:64]
+//! Uniform [family=0:1][ctr-sz=3:6][major:57][128 x 3-bit ctrs:384][MAC:64]
+//! MCR     [family=1:1][major:49][base-1:7][base-2:7][64 x 3-bit:192][64 x 3-bit:192][MAC:64]
+//! ```
+//!
+//! Every layout is exactly 512 bits.
+
+use super::super::bits::{get_bits, set_bits};
+use super::{zcc_width, MorphFormat, MorphLine, MorphMode, MORPH_ARITY};
+use crate::{CACHELINE_BITS, CACHELINE_BYTES, LINE_MAC_BITS};
+
+const MAC_OFFSET: usize = CACHELINE_BITS - LINE_MAC_BITS;
+
+/// The `ctr-sz` value that marks the uniform 128 × 3-bit format
+/// (`zcc_width` never yields 3, so the encoding is unambiguous).
+const UNIFORM_CTR_SZ: u64 = 3;
+
+/// Encodes `line` into its 64-byte image. When `with_mac` is false the MAC
+/// field is left zero (the byte string a MAC is computed over).
+pub fn encode(line: &MorphLine, with_mac: bool) -> [u8; CACHELINE_BYTES] {
+    let mut image = [0u8; CACHELINE_BYTES];
+    match line.format {
+        MorphFormat::Zcc => {
+            let nonzero = line.values.iter().filter(|&&v| v != 0).count();
+            let width = zcc_width(nonzero).expect("ZCC format implies <= 64 non-zero") as usize;
+            set_bits(&mut image, 0, 1, 0);
+            set_bits(&mut image, 1, 6, width as u64);
+            assert!(line.major < 1 << 57, "ZCC major exceeds 57 bits");
+            set_bits(&mut image, 7, 57, line.major);
+            // Bit-vector of non-zero slots.
+            for (slot, &v) in line.values.iter().enumerate() {
+                if v != 0 {
+                    set_bits(&mut image, 64 + slot, 1, 1);
+                }
+            }
+            // Non-zero counters packed in slot order.
+            let mut bit = 192;
+            for &v in line.values.iter().filter(|&&v| v != 0) {
+                set_bits(&mut image, bit, width, v as u64);
+                bit += width;
+            }
+            debug_assert!(bit <= 448, "value field overran: {bit}");
+        }
+        MorphFormat::Uniform => {
+            set_bits(&mut image, 0, 1, 0);
+            set_bits(&mut image, 1, 6, UNIFORM_CTR_SZ);
+            assert!(line.major < 1 << 57, "uniform major exceeds 57 bits");
+            set_bits(&mut image, 7, 57, line.major);
+            for (slot, &v) in line.values.iter().enumerate() {
+                set_bits(&mut image, 64 + 3 * slot, 3, v as u64);
+            }
+        }
+        MorphFormat::Mcr => {
+            set_bits(&mut image, 0, 1, 1);
+            assert!(line.major < 1 << 49, "MCR major exceeds 49 bits");
+            set_bits(&mut image, 1, 49, line.major);
+            set_bits(&mut image, 50, 7, line.bases[0]);
+            set_bits(&mut image, 57, 7, line.bases[1]);
+            for (slot, &v) in line.values.iter().enumerate() {
+                set_bits(&mut image, 64 + 3 * slot, 3, v as u64);
+            }
+        }
+    }
+    if with_mac {
+        set_bits(&mut image, MAC_OFFSET, LINE_MAC_BITS, line.mac);
+    }
+    image
+}
+
+/// Decodes a 64-byte image back into a line (the `mode` is configuration,
+/// not stored in the image).
+///
+/// # Panics
+///
+/// Panics if the image is not a well-formed morphable line (e.g. the stored
+/// `ctr-sz` disagrees with the bit-vector population count).
+#[must_use]
+pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
+    let mut line = MorphLine::new(mode);
+    line.mac = get_bits(image, MAC_OFFSET, LINE_MAC_BITS);
+    if get_bits(image, 0, 1) == 1 {
+        line.format = MorphFormat::Mcr;
+        line.major = get_bits(image, 1, 49);
+        line.bases = [get_bits(image, 50, 7), get_bits(image, 57, 7)];
+        for slot in 0..MORPH_ARITY {
+            line.values[slot] = get_bits(image, 64 + 3 * slot, 3) as u16;
+        }
+        return line;
+    }
+    let ctr_sz = get_bits(image, 1, 6);
+    line.major = get_bits(image, 7, 57);
+    if ctr_sz == UNIFORM_CTR_SZ {
+        line.format = MorphFormat::Uniform;
+        for slot in 0..MORPH_ARITY {
+            line.values[slot] = get_bits(image, 64 + 3 * slot, 3) as u16;
+        }
+        return line;
+    }
+    line.format = MorphFormat::Zcc;
+    let mut nonzero_slots = Vec::new();
+    for slot in 0..MORPH_ARITY {
+        if get_bits(image, 64 + slot, 1) == 1 {
+            nonzero_slots.push(slot);
+        }
+    }
+    let width = zcc_width(nonzero_slots.len()).expect("bit-vector population <= 64") as usize;
+    assert_eq!(
+        width as u64, ctr_sz,
+        "stored ctr-sz disagrees with bit-vector population"
+    );
+    let mut bit = 192;
+    for slot in nonzero_slots {
+        line.values[slot] = get_bits(image, bit, width) as u16;
+        bit += width;
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterLine, IncrementOutcome};
+
+    fn roundtrip(line: &MorphLine) {
+        let decoded = decode(line.mode(), &line.encode());
+        assert_eq!(&decoded, line);
+    }
+
+    #[test]
+    fn roundtrip_fresh_line() {
+        roundtrip(&MorphLine::new(MorphMode::ZccRebase));
+    }
+
+    #[test]
+    fn roundtrip_sparse_zcc() {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        for slot in [0usize, 17, 45, 99, 127] {
+            for _ in 0..(slot + 1) {
+                line.increment(slot);
+            }
+        }
+        line.set_mac(0xfeed_face_cafe_beef);
+        roundtrip(&line);
+    }
+
+    #[test]
+    fn roundtrip_every_zcc_width() {
+        // Exercise each width bucket boundary.
+        for n in [1usize, 16, 17, 32, 33, 36, 37, 42, 43, 51, 52, 64] {
+            let mut line = MorphLine::new(MorphMode::ZccRebase);
+            for slot in 0..n {
+                line.increment(slot);
+            }
+            assert_eq!(line.used_counters(), n);
+            roundtrip(&line);
+        }
+    }
+
+    #[test]
+    fn roundtrip_uniform() {
+        let mut line = MorphLine::new(MorphMode::ZccOnly);
+        for slot in 0..128 {
+            line.increment(slot);
+        }
+        assert_eq!(line.format(), MorphFormat::Uniform);
+        line.set_mac(7);
+        roundtrip(&line);
+    }
+
+    #[test]
+    fn roundtrip_mcr_with_rebased_bases() {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        for slot in 0..128 {
+            line.increment(slot);
+        }
+        assert_eq!(line.format(), MorphFormat::Mcr);
+        // Force a rebase so the bases are non-trivial.
+        for _ in 0..7 {
+            line.increment(3);
+        }
+        assert!(line.bases()[0] > 0);
+        roundtrip(&line);
+    }
+
+    #[test]
+    fn all_formats_fit_512_bits() {
+        // encode() would panic via set_bits if any field overran the line;
+        // drive a line through all three formats to prove the layouts fit.
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        let _ = line.encode();
+        for slot in 0..128 {
+            for _ in 0..5 {
+                line.increment(slot);
+            }
+            let _ = line.encode();
+        }
+        assert_eq!(line.format(), MorphFormat::Mcr);
+    }
+
+    #[test]
+    fn mac_field_occupies_final_eight_bytes() {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        line.increment(0);
+        line.set_mac(u64::MAX);
+        let image = line.encode();
+        assert_eq!(image[56..64], [0xff; 8]);
+        let body = line.encode_for_mac();
+        assert_eq!(body[56..64], [0u8; 8]);
+        assert_eq!(image[..56], body[..56]);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_ctr_sz() {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        line.increment(0);
+        let mut image = line.encode();
+        // Corrupt the ctr-sz field (bits 1..7) to 5.
+        crate::counters::bits::set_bits(&mut image, 1, 6, 5);
+        let result = std::panic::catch_unwind(|| decode(MorphMode::ZccRebase, &image));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn encoded_formats_are_distinguishable() {
+        let zcc = MorphLine::new(MorphMode::ZccRebase).encode();
+        let mut dense = MorphLine::new(MorphMode::ZccRebase);
+        for slot in 0..128 {
+            dense.increment(slot);
+        }
+        let mcr = dense.encode();
+        assert_eq!(zcc[0] & 1, 0);
+        assert_eq!(mcr[0] & 1, 1);
+        let mut uniform_line = MorphLine::new(MorphMode::ZccOnly);
+        for slot in 0..128 {
+            uniform_line.increment(slot);
+        }
+        let uniform = uniform_line.encode();
+        assert_eq!(uniform[0] & 1, 0);
+        assert_eq!((uniform[0] >> 1) & 0x3f, 3);
+    }
+
+    #[test]
+    fn increments_after_roundtrip_behave_identically() {
+        let mut a = MorphLine::new(MorphMode::ZccRebase);
+        for slot in 0..70 {
+            a.increment(slot % 128);
+        }
+        let mut b = decode(MorphMode::ZccRebase, &a.encode());
+        for slot in [0usize, 64, 127, 5] {
+            let oa = a.increment(slot);
+            let ob = b.increment(slot);
+            assert_eq!(oa, ob);
+            assert_eq!(a, b);
+            let _ = matches!(oa, IncrementOutcome::Ok);
+        }
+    }
+}

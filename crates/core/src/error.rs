@@ -1,0 +1,62 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Raised by the functional secure memory when verification fails — i.e.
+/// when an integrity violation (tampering or replay) is *detected*.
+///
+/// Carrying the location lets tests assert that the violation was caught at
+/// the right place in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The MAC of a data cacheline did not verify.
+    DataMac {
+        /// Line address of the offending data cacheline.
+        line_addr: u64,
+    },
+    /// The MAC of a counter line at some tree level did not verify.
+    CounterMac {
+        /// Tree level (0 = encryption counters).
+        level: usize,
+        /// Index of the counter line within its level.
+        line_idx: u64,
+    },
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::DataMac { line_addr } => {
+                write!(f, "data MAC verification failed for line {line_addr:#x}")
+            }
+            IntegrityError::CounterMac { level, line_idx } => {
+                write!(
+                    f,
+                    "counter MAC verification failed at tree level {level}, line {line_idx}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = IntegrityError::DataMac { line_addr: 0x40 };
+        assert_eq!(e.to_string(), "data MAC verification failed for line 0x40");
+        let e = IntegrityError::CounterMac { level: 2, line_idx: 9 };
+        assert!(e.to_string().contains("level 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IntegrityError>();
+    }
+}

@@ -1,0 +1,527 @@
+//! A *functional* secure memory: real bytes, real encryption, real MACs,
+//! real replay protection.
+//!
+//! The timing model ([`crate::metadata`]) counts accesses; this module
+//! proves the security architecture actually works, reproducing §II-A and
+//! the §V security analysis end-to-end:
+//!
+//! - data lines are encrypted with counter-mode AES over
+//!   `(address, effective counter)` pads;
+//! - every data line carries a MAC bound to its address and counter;
+//! - every counter line carries a MAC keyed by its *parent* counter, up to
+//!   an on-chip root, so replaying any stale `{data, MAC, counter}` tuple is
+//!   detected;
+//! - counter overflows re-encrypt exactly the children whose effective
+//!   counters changed, and rebasing re-encrypts nothing.
+//!
+//! The [`SecureMemory::tamper_raw`] and [`SecureMemory::snapshot`] /
+//! [`SecureMemory::replay`] hooks play the adversary with physical access.
+//!
+//! # Example
+//!
+//! ```
+//! use morphtree_core::functional::SecureMemory;
+//! use morphtree_core::tree::TreeConfig;
+//!
+//! let mut mem = SecureMemory::new(TreeConfig::morphtree(), 1 << 20, [7u8; 16]);
+//! mem.write(3, &[0xab; 64]);
+//! assert_eq!(mem.read(3).unwrap(), [0xab; 64]);
+//!
+//! // An adversary flips a bit in DRAM: the next read detects it.
+//! mem.tamper_raw(3, 0, 0x01);
+//! assert!(mem.read(3).is_err());
+//! ```
+
+use std::collections::HashMap;
+
+use morphtree_crypto::{CtrModeCipher, MacKey};
+
+use crate::counters::{CounterLine, IncrementOutcome, Line};
+use crate::error::IntegrityError;
+use crate::tree::{TreeConfig, TreeGeometry};
+use crate::CACHELINE_BYTES;
+
+/// A snapshot of one data line's off-chip state (ciphertext + MAC +
+/// the covering encryption-counter line image), used to mount replay
+/// attacks in tests.
+#[derive(Debug, Clone)]
+pub struct LineSnapshot {
+    data_line: u64,
+    ciphertext: [u8; CACHELINE_BYTES],
+    mac: u64,
+    counter_line: Line,
+}
+
+/// A byte-level secure memory with encryption, integrity and replay
+/// protection over a configurable integrity tree.
+#[derive(Debug)]
+pub struct SecureMemory {
+    config: TreeConfig,
+    geometry: TreeGeometry,
+    cipher: CtrModeCipher,
+    mac_key: MacKey,
+    /// Ciphertext per data line (absent = never written; reads return
+    /// zeroes without touching the tree).
+    data: HashMap<u64, [u8; CACHELINE_BYTES]>,
+    /// MAC per data line.
+    data_macs: HashMap<u64, u64>,
+    /// Counter lines per level; each line's `mac()` field holds its stored
+    /// MAC (keyed by its parent counter). The root level is on-chip and
+    /// needs no MAC.
+    levels: Vec<HashMap<u64, Line>>,
+    /// Count of child re-encryptions performed due to counter overflows
+    /// (observable cost, for tests and examples).
+    reencryptions: u64,
+}
+
+impl SecureMemory {
+    /// Creates a secure memory over `memory_bytes` of protected data.
+    ///
+    /// The single `key` seeds both the encryption and MAC keys (domain
+    /// separated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_bytes` is zero or not cacheline-aligned.
+    #[must_use]
+    pub fn new(config: TreeConfig, memory_bytes: u64, key: [u8; 16]) -> Self {
+        let geometry = TreeGeometry::new(&config, memory_bytes);
+        let mut mac_seed = key;
+        mac_seed[0] ^= 0x5a; // domain separation from the encryption key
+        let num_levels = geometry.levels().len();
+        SecureMemory {
+            config,
+            cipher: CtrModeCipher::new(key),
+            mac_key: MacKey::new(mac_seed),
+            data: HashMap::new(),
+            data_macs: HashMap::new(),
+            levels: vec![HashMap::new(); num_levels],
+            reencryptions: 0,
+            geometry,
+        }
+    }
+
+    /// The tree geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// Total child re-encryptions caused by counter overflows so far.
+    #[must_use]
+    pub fn reencryptions(&self) -> u64 {
+        self.reencryptions
+    }
+
+    /// Effective encryption counter for `data_line`.
+    #[must_use]
+    pub fn counter_of(&self, data_line: u64) -> u64 {
+        let (line_idx, slot) = self.geometry.parent_of(0, data_line);
+        self.levels[0]
+            .get(&line_idx)
+            .map_or(0, |line| line.get(slot))
+    }
+
+    fn data_addr(&self, data_line: u64) -> u64 {
+        data_line * CACHELINE_BYTES as u64
+    }
+
+    fn line_or_new(&mut self, level: usize, line_idx: u64) -> &mut Line {
+        let org = self.config.org(level);
+        self.levels[level]
+            .entry(line_idx)
+            .or_insert_with(|| org.new_line())
+    }
+
+    /// MAC of a metadata line at `level`, keyed by its parent counter.
+    fn counter_line_mac(&self, level: usize, line_idx: u64, body: &[u8; 64]) -> u64 {
+        let parent_value = if level == self.geometry.top_level() {
+            // The root line lives in on-chip trusted storage; give it a
+            // fixed key component.
+            0
+        } else {
+            let (parent_idx, slot) = self.geometry.parent_of(level + 1, line_idx);
+            self.levels[level + 1]
+                .get(&parent_idx)
+                .map_or(0, |line| line.get(slot))
+        };
+        let addr = self.geometry.line_addr(level, line_idx);
+        self.mac_key.mac_line(addr, parent_value, body).0
+    }
+
+    /// Recomputes and stores the MAC of a metadata line.
+    fn refresh_line_mac(&mut self, level: usize, line_idx: u64) {
+        let body = {
+            let line = self.line_or_new(level, line_idx);
+            line.encode_for_mac()
+        };
+        let mac = self.counter_line_mac(level, line_idx, &body);
+        self.line_or_new(level, line_idx).set_mac(mac);
+    }
+
+    /// Re-encrypts a data child after its effective counter changed from
+    /// `old_counter` to the current value.
+    fn reencrypt_data_child(&mut self, data_line: u64, old_counter: u64) {
+        let addr = self.data_addr(data_line);
+        if let Some(ciphertext) = self.data.get(&data_line).copied() {
+            let plaintext = self.cipher.decrypt_line(addr, old_counter, &ciphertext);
+            let new_counter = self.counter_of(data_line);
+            let fresh = self.cipher.encrypt_line(addr, new_counter, &plaintext);
+            let mac = self.mac_key.mac_line(addr, new_counter, &fresh).0;
+            self.data.insert(data_line, fresh);
+            self.data_macs.insert(data_line, mac);
+            self.reencryptions += 1;
+        }
+    }
+
+    /// Increments the counter at `level` covering `child_idx`, propagating
+    /// to the parent and repairing all affected MACs / ciphertexts.
+    fn bump(&mut self, level: usize, child_idx: u64) {
+        let (line_idx, slot) = self.geometry.parent_of(level, child_idx);
+        let arity = self.geometry.levels()[level].arity;
+
+        // Snapshot child counters in case an overflow changes them.
+        let old_values: Vec<u64> = {
+            let line = self.line_or_new(level, line_idx);
+            (0..arity).map(|s| line.get(s)).collect()
+        };
+
+        let outcome = self.line_or_new(level, line_idx).increment(slot);
+
+        if let IncrementOutcome::Overflow(event) = outcome {
+            let children_total: u64 = if level == 0 {
+                self.geometry.data_lines()
+            } else {
+                self.geometry.levels()[level - 1].lines
+            };
+            for s in event.span.slots(arity) {
+                let child = line_idx * arity as u64 + s as u64;
+                if child >= children_total {
+                    break;
+                }
+                if level == 0 {
+                    self.reencrypt_data_child(child, old_values[s]);
+                } else {
+                    // Child counter line's MAC is keyed by its (changed)
+                    // parent counter: recompute it.
+                    if self.levels[level - 1].contains_key(&child) {
+                        self.refresh_line_mac(level - 1, child);
+                        self.reencryptions += 1;
+                    }
+                }
+            }
+        }
+
+        // Propagate the write upward (replay protection: the parent counter
+        // must advance whenever this line changes), then re-MAC this line
+        // under the new parent value.
+        if level < self.geometry.top_level() {
+            self.bump(level + 1, line_idx);
+        }
+        self.refresh_line_mac(level, line_idx);
+    }
+
+    /// Writes a plaintext line.
+    pub fn write(&mut self, data_line: u64, plaintext: &[u8; CACHELINE_BYTES]) {
+        assert!(data_line < self.geometry.data_lines(), "data line out of range");
+        self.bump(0, data_line);
+        let counter = self.counter_of(data_line);
+        let addr = self.data_addr(data_line);
+        let ciphertext = self.cipher.encrypt_line(addr, counter, plaintext);
+        let mac = self.mac_key.mac_line(addr, counter, &ciphertext).0;
+        self.data.insert(data_line, ciphertext);
+        self.data_macs.insert(data_line, mac);
+    }
+
+    /// Reads and verifies a line: checks the data MAC and every counter-line
+    /// MAC up to the on-chip root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] when any MAC fails — i.e. when tampering
+    /// or replay is detected.
+    pub fn read(&self, data_line: u64) -> Result<[u8; CACHELINE_BYTES], IntegrityError> {
+        assert!(data_line < self.geometry.data_lines(), "data line out of range");
+        let Some(ciphertext) = self.data.get(&data_line) else {
+            // Never written: defined to read as zeroes.
+            return Ok([0u8; CACHELINE_BYTES]);
+        };
+        let addr = self.data_addr(data_line);
+        let counter = self.counter_of(data_line);
+        let expect = self.mac_key.mac_line(addr, counter, ciphertext).0;
+        let stored = self.data_macs.get(&data_line).copied().unwrap_or(0);
+        if stored != expect {
+            return Err(IntegrityError::DataMac { line_addr: addr });
+        }
+        self.verify_chain(data_line)?;
+        Ok(self.cipher.decrypt_line(addr, counter, ciphertext))
+    }
+
+    /// Verifies the counter-line MAC chain covering `data_line`.
+    fn verify_chain(&self, data_line: u64) -> Result<(), IntegrityError> {
+        let mut child = data_line;
+        for level in 0..=self.geometry.top_level() {
+            let (line_idx, _) = self.geometry.parent_of(level, child);
+            if let Some(line) = self.levels[level].get(&line_idx) {
+                if level < self.geometry.top_level() {
+                    let body = line.encode_for_mac();
+                    let expect = self.counter_line_mac(level, line_idx, &body);
+                    if line.mac() != expect {
+                        return Err(IntegrityError::CounterMac { level, line_idx });
+                    }
+                }
+                // The root line (level == top) is on-chip: trusted.
+            }
+            child = line_idx;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Adversary interface (what physical access to DRAM permits).
+    // ------------------------------------------------------------------
+
+    /// Flips bits in the stored ciphertext of `data_line` by XORing `mask`
+    /// into byte `offset` — a physical tampering attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line has never been written or `offset >= 64`.
+    pub fn tamper_raw(&mut self, data_line: u64, offset: usize, mask: u8) {
+        let line = self
+            .data
+            .get_mut(&data_line)
+            .expect("cannot tamper a never-written line");
+        line[offset] ^= mask;
+    }
+
+    /// Corrupts the stored MAC of a data line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line has never been written.
+    pub fn tamper_mac(&mut self, data_line: u64, mask: u64) {
+        let mac = self
+            .data_macs
+            .get_mut(&data_line)
+            .expect("cannot tamper a never-written line");
+        *mac ^= mask;
+    }
+
+    /// Flips bits in a stored counter line at `level` (a metadata
+    /// tampering attack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line does not exist.
+    pub fn tamper_counter(&mut self, level: usize, line_idx: u64) {
+        let line = self.levels[level]
+            .get_mut(&line_idx)
+            .expect("counter line does not exist");
+        // Advance a counter without authorization: decode-free bit attack
+        // is equivalent to replacing the line; emulate by incrementing.
+        let _ = line.increment(0);
+    }
+
+    /// Captures the full off-chip state associated with a data line:
+    /// ciphertext, MAC and the covering encryption-counter line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line has never been written.
+    #[must_use]
+    pub fn snapshot(&self, data_line: u64) -> LineSnapshot {
+        let (line_idx, _) = self.geometry.parent_of(0, data_line);
+        LineSnapshot {
+            data_line,
+            ciphertext: *self.data.get(&data_line).expect("never written"),
+            mac: self.data_macs[&data_line],
+            counter_line: self.levels[0][&line_idx].clone(),
+        }
+    }
+
+    /// Replays a previously captured snapshot — the classic replay attack:
+    /// the adversary restores a stale but *self-consistent*
+    /// `{data, MAC, counter}` tuple in DRAM.
+    pub fn replay(&mut self, snapshot: &LineSnapshot) {
+        let (line_idx, _) = self.geometry.parent_of(0, snapshot.data_line);
+        self.data.insert(snapshot.data_line, snapshot.ciphertext);
+        self.data_macs.insert(snapshot.data_line, snapshot.mac);
+        self.levels[0].insert(line_idx, snapshot.counter_line.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    fn mem(config: TreeConfig) -> SecureMemory {
+        SecureMemory::new(config, MIB, [9u8; 16])
+    }
+
+    fn all_configs() -> Vec<TreeConfig> {
+        vec![
+            TreeConfig::sgx(),
+            TreeConfig::vault(),
+            TreeConfig::sc64(),
+            TreeConfig::sc128(),
+            TreeConfig::morphtree(),
+            TreeConfig::morphtree_zcc_only(),
+        ]
+    }
+
+    #[test]
+    fn write_read_roundtrip_every_config() {
+        for config in all_configs() {
+            let mut m = mem(config.clone());
+            let payload: [u8; 64] = core::array::from_fn(|i| i as u8);
+            m.write(11, &payload);
+            assert_eq!(m.read(11).unwrap(), payload, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let m = mem(TreeConfig::morphtree());
+        assert_eq!(m.read(0).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn overwrites_bump_the_counter() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(4, &[1; 64]);
+        let c1 = m.counter_of(4);
+        m.write(4, &[2; 64]);
+        let c2 = m.counter_of(4);
+        assert!(c2 > c1);
+        assert_eq!(m.read(4).unwrap(), [2; 64]);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_varies_with_counter() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(0, &[0x77; 64]);
+        let ct1 = *m.data.get(&0).unwrap();
+        assert_ne!(ct1, [0x77; 64]);
+        m.write(0, &[0x77; 64]);
+        let ct2 = *m.data.get(&0).unwrap();
+        assert_ne!(ct1, ct2, "temporal variation from the counter");
+    }
+
+    #[test]
+    fn data_tampering_is_detected() {
+        for config in all_configs() {
+            let mut m = mem(config.clone());
+            m.write(7, &[5; 64]);
+            m.tamper_raw(7, 63, 0x80);
+            let err = m.read(7).unwrap_err();
+            assert!(
+                matches!(err, IntegrityError::DataMac { .. }),
+                "{}: {err}",
+                config.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mac_tampering_is_detected() {
+        let mut m = mem(TreeConfig::morphtree());
+        m.write(7, &[5; 64]);
+        m.tamper_mac(7, 1);
+        assert!(m.read(7).is_err());
+    }
+
+    #[test]
+    fn counter_tampering_is_detected() {
+        let mut m = mem(TreeConfig::morphtree());
+        m.write(7, &[5; 64]);
+        m.tamper_counter(0, 0);
+        let err = m.read(7).unwrap_err();
+        assert!(matches!(err, IntegrityError::CounterMac { level: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn replay_attack_is_detected() {
+        for config in all_configs() {
+            let mut m = mem(config.clone());
+            m.write(3, &[0xaa; 64]);
+            let stale = m.snapshot(3);
+            // Victim updates the line; adversary replays the stale tuple.
+            m.write(3, &[0xbb; 64]);
+            m.replay(&stale);
+            let err = m.read(3).unwrap_err();
+            // The stale counter line fails its MAC (its parent advanced).
+            assert!(
+                matches!(err, IntegrityError::CounterMac { .. }),
+                "{}: {err}",
+                config.name()
+            );
+        }
+    }
+
+    #[test]
+    fn replay_of_current_state_is_a_noop() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(3, &[0xaa; 64]);
+        let snap = m.snapshot(3);
+        m.replay(&snap); // replaying the *current* state changes nothing
+        assert_eq!(m.read(3).unwrap(), [0xaa; 64]);
+    }
+
+    #[test]
+    fn overflow_reencrypts_children_and_preserves_their_contents() {
+        let mut m = mem(TreeConfig::sc64());
+        // Populate several children of counter line 0.
+        for line in 0..8 {
+            m.write(line, &[line as u8; 64]);
+        }
+        // Drive line 0's counter to overflow (6-bit minors).
+        for _ in 0..200 {
+            m.write(0, &[0xcc; 64]);
+        }
+        assert!(m.reencryptions() > 0);
+        for line in 1..8 {
+            assert_eq!(m.read(line).unwrap(), [line as u8; 64], "line {line}");
+        }
+    }
+
+    #[test]
+    fn morph_rebasing_avoids_reencryptions_under_uniform_writes() {
+        let mut morph = mem(TreeConfig::morphtree());
+        let mut sc128 = mem(TreeConfig::sc128());
+        for round in 0..16 {
+            for line in 0..128u64 {
+                let body = [round as u8; 64];
+                morph.write(line, &body);
+                sc128.write(line, &body);
+            }
+        }
+        assert!(
+            morph.reencryptions() < sc128.reencryptions(),
+            "morph {} !< sc128 {}",
+            morph.reencryptions(),
+            sc128.reencryptions()
+        );
+        // And everything still reads back correctly.
+        assert_eq!(morph.read(100).unwrap(), [15u8; 64]);
+    }
+
+    #[test]
+    fn distinct_lines_are_independent() {
+        let mut m = mem(TreeConfig::morphtree());
+        m.write(0, &[1; 64]);
+        m.write(1, &[2; 64]);
+        m.write(0, &[3; 64]);
+        assert_eq!(m.read(1).unwrap(), [2; 64]);
+        assert_eq!(m.read(0).unwrap(), [3; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_rejects_out_of_range() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(u64::MAX, &[0; 64]);
+    }
+}

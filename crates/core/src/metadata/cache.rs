@@ -1,0 +1,427 @@
+//! The dedicated on-chip metadata cache (Table I: 128 KB, 8-way, 64 B
+//! lines, shared by encryption and integrity-tree counters).
+
+use crate::CACHELINE_BYTES;
+
+/// Victim-selection policy.
+///
+/// `LevelAware` implements the metadata type-aware replacement idea of
+/// Lee et al. (§VIII-B2 related work): higher-priority lines (higher tree
+/// levels, which cover exponentially more memory) are preferred for
+/// retention; among the lowest-priority resident lines the LRU one is
+/// evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Pure least-recently-used (the paper's model, and ours by default).
+    #[default]
+    Lru,
+    /// Evict the least-recently-used line of the lowest priority class.
+    LevelAware,
+}
+
+/// A line evicted from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Address of the evicted line.
+    pub addr: u64,
+    /// Whether it was dirty (and therefore needs a write-back, which in a
+    /// secure memory also bumps the parent counter).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: u64,
+    dirty: bool,
+    priority: u8,
+}
+
+/// A set-associative, write-back, LRU cache keyed by line address.
+///
+/// Only tags and dirty bits are modeled — the line *contents* live in the
+/// engine's counter store, which represents the union of memory and cache
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::metadata::MetadataCache;
+///
+/// let mut cache = MetadataCache::new(8 * 1024, 8);
+/// assert!(!cache.probe(0x1000));
+/// cache.insert(0x1000, false);
+/// assert!(cache.probe(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    /// `sets[i]` is ordered LRU → MRU.
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    policy: ReplacementPolicy,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataCache {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of
+    /// `ways * CACHELINE_BYTES`.
+    #[must_use]
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        Self::with_policy(capacity_bytes, ways, ReplacementPolicy::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of
+    /// `ways * CACHELINE_BYTES`.
+    #[must_use]
+    pub fn with_policy(capacity_bytes: usize, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(ways >= 1);
+        let lines = capacity_bytes / CACHELINE_BYTES;
+        assert!(
+            lines >= ways && capacity_bytes.is_multiple_of(ways * CACHELINE_BYTES),
+            "capacity {capacity_bytes} incompatible with {ways} ways"
+        );
+        let num_sets = lines / ways;
+        MetadataCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            policy,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets.len() * self.ways * CACHELINE_BYTES
+    }
+
+    /// Demand hits recorded by [`MetadataCache::probe`].
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses recorded by [`MetadataCache::probe`].
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / CACHELINE_BYTES as u64) % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `addr`, updating recency and hit/miss statistics.
+    pub fn probe(&mut self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|e| e.addr == addr) {
+            let entry = entries.remove(pos);
+            entries.push(entry);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Non-destructive lookup: no recency or statistics update.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        self.sets[set].iter().any(|e| e.addr == addr)
+    }
+
+    /// Inserts `addr` as most-recently-used, returning the victim if the
+    /// set was full. Re-inserting a resident line refreshes recency and
+    /// ORs the dirty bit.
+    pub fn insert(&mut self, addr: u64, dirty: bool) -> Option<EvictedLine> {
+        self.insert_with_priority(addr, dirty, 0)
+    }
+
+    /// Like [`MetadataCache::insert`], tagging the line with a retention
+    /// priority (the metadata level). Under [`ReplacementPolicy::Lru`] the
+    /// priority is recorded but ignored for victim selection.
+    pub fn insert_with_priority(
+        &mut self,
+        addr: u64,
+        dirty: bool,
+        priority: u8,
+    ) -> Option<EvictedLine> {
+        let set = self.set_index(addr);
+        let ways = self.ways;
+        let policy = self.policy;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|e| e.addr == addr) {
+            let mut entry = entries.remove(pos);
+            entry.dirty |= dirty;
+            entry.priority = entry.priority.max(priority);
+            entries.push(entry);
+            return None;
+        }
+        let victim = if entries.len() == ways {
+            let pos = match policy {
+                ReplacementPolicy::Lru => 0,
+                ReplacementPolicy::LevelAware => {
+                    // LRU among the lowest-priority class (vector order is
+                    // LRU -> MRU, so the first minimum is the LRU one).
+                    let min = entries.iter().map(|e| e.priority).min().expect("full set");
+                    entries
+                        .iter()
+                        .position(|e| e.priority == min)
+                        .expect("minimum exists")
+                }
+            };
+            let v = entries.remove(pos);
+            Some(EvictedLine { addr: v.addr, dirty: v.dirty })
+        } else {
+            None
+        };
+        entries.push(Entry { addr, dirty, priority });
+        victim
+    }
+
+    /// Marks a resident line dirty; returns whether it was resident.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        if let Some(entry) = self.sets[set].iter_mut().find(|e| e.addr == addr) {
+            entry.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `addr` if resident, returning its dirty bit.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let set = self.set_index(addr);
+        let entries = &mut self.sets[set];
+        entries
+            .iter()
+            .position(|e| e.addr == addr)
+            .map(|pos| entries.remove(pos).dirty)
+    }
+
+    /// Drops all contents and statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MetadataCache {
+        // 2 sets x 2 ways.
+        MetadataCache::new(4 * CACHELINE_BYTES, 2)
+    }
+
+    fn addr_in_set(cache: &MetadataCache, set: usize, k: u64) -> u64 {
+        (set as u64 + k * cache.num_sets() as u64) * CACHELINE_BYTES as u64
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        assert!(!c.probe(a));
+        c.insert(a, false);
+        assert!(c.probe(a));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert(a, false);
+        c.insert(b, false);
+        // Touch `a` so `b` becomes LRU.
+        assert!(c.probe(a));
+        let victim = c.insert(d, false).expect("set full");
+        assert_eq!(victim.addr, b);
+        assert!(c.contains(a));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_bit() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 1, 0);
+        let b = addr_in_set(&c, 1, 1);
+        let d = addr_in_set(&c, 1, 2);
+        c.insert(a, true);
+        c.insert(b, false);
+        let victim = c.insert(d, false).unwrap();
+        assert_eq!(victim, EvictedLine { addr: a, dirty: true });
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_ors_dirty() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert(a, false);
+        c.insert(b, false);
+        assert!(c.insert(a, true).is_none());
+        let victim = c.insert(d, false).unwrap();
+        assert_eq!(victim.addr, b, "a was refreshed to MRU");
+        // `a`'s dirty bit was ORed in.
+        let victim = c.insert(addr_in_set(&c, 0, 3), false).unwrap();
+        assert_eq!(victim, EvictedLine { addr: a, dirty: true });
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        assert!(!c.mark_dirty(a));
+        c.insert(a, false);
+        assert!(c.mark_dirty(a));
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert(b, false);
+        let victim = c.insert(d, false).unwrap();
+        assert!(victim.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 1, 0);
+        c.insert(a, true);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert!(!c.contains(a));
+        assert_eq!(c.invalidate(a), None);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        for k in 0..2 {
+            c.insert(addr_in_set(&c, 0, k), false);
+            c.insert(addr_in_set(&c, 1, k), false);
+        }
+        assert_eq!(c.occupancy(), 4);
+        // Filling set 0 further does not evict set 1.
+        c.insert(addr_in_set(&c, 0, 9), false);
+        assert!(c.contains(addr_in_set(&c, 1, 0)));
+        assert!(c.contains(addr_in_set(&c, 1, 1)));
+    }
+
+    #[test]
+    fn table1_configuration() {
+        let c = MetadataCache::new(128 * 1024, 8);
+        assert_eq!(c.capacity_bytes(), 128 * 1024);
+        assert_eq!(c.num_sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn rejects_bad_capacity() {
+        let _ = MetadataCache::new(100, 8);
+    }
+
+    #[test]
+    fn level_aware_policy_protects_high_levels() {
+        let mut c = MetadataCache::with_policy(
+            2 * CACHELINE_BYTES,
+            2,
+            ReplacementPolicy::LevelAware,
+        );
+        // One set, two ways; sets = 1.
+        assert_eq!(c.num_sets(), 1);
+        let low = 0;
+        let high = 64;
+        let newcomer = 128;
+        c.insert_with_priority(high, false, 3); // a tree-level-3 line, older
+        c.insert_with_priority(low, false, 0); // an enc-counter line, newer
+        // LRU would evict `high` (older); level-aware evicts `low`.
+        let victim = c.insert_with_priority(newcomer, false, 0).expect("full");
+        assert_eq!(victim.addr, low);
+        assert!(c.contains(high));
+    }
+
+    #[test]
+    fn level_aware_falls_back_to_lru_within_a_class() {
+        let mut c = MetadataCache::with_policy(
+            2 * CACHELINE_BYTES,
+            2,
+            ReplacementPolicy::LevelAware,
+        );
+        c.insert_with_priority(0, false, 1);
+        c.insert_with_priority(64, false, 1);
+        // Equal priorities: the older line (addr 0) is the victim.
+        let victim = c.insert_with_priority(128, false, 1).expect("full");
+        assert_eq!(victim.addr, 0);
+    }
+
+    #[test]
+    fn lru_policy_ignores_priorities() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert_with_priority(a, false, 9);
+        c.insert_with_priority(b, false, 0);
+        let victim = c.insert_with_priority(d, false, 0).expect("full");
+        assert_eq!(victim.addr, a, "plain LRU evicts the oldest regardless");
+    }
+
+    #[test]
+    fn reinsert_keeps_the_highest_priority() {
+        let mut c = MetadataCache::with_policy(
+            2 * CACHELINE_BYTES,
+            2,
+            ReplacementPolicy::LevelAware,
+        );
+        c.insert_with_priority(0, false, 2);
+        c.insert_with_priority(0, false, 0); // refresh with lower priority
+        c.insert_with_priority(64, false, 1);
+        // Addr 0 retained priority 2, so addr 64 is the victim.
+        let victim = c.insert_with_priority(128, false, 1).expect("full");
+        assert_eq!(victim.addr, 64);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = tiny();
+        c.insert(64, true);
+        c.probe(64);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 0);
+        assert!(!c.contains(64));
+    }
+}

@@ -1,0 +1,179 @@
+//! The integrity-tree designs evaluated in the paper (§VI, Table III).
+
+use crate::counters::morph::MorphMode;
+use crate::counters::CounterOrg;
+
+/// A complete secure-memory counter configuration: which counter
+/// organization is used for the encryption counters (level 0) and for each
+/// integrity-tree level above them.
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::tree::TreeConfig;
+///
+/// let cfg = TreeConfig::vault();
+/// assert_eq!(cfg.org(0).arity(), 64); // encryption counters
+/// assert_eq!(cfg.org(1).arity(), 32); // tree level 1
+/// assert_eq!(cfg.org(2).arity(), 16); // tree level 2 and beyond
+/// assert_eq!(cfg.org(5).arity(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeConfig {
+    name: String,
+    enc_org: CounterOrg,
+    /// Organizations for tree levels 1, 2, …; the last entry repeats for
+    /// all higher levels.
+    tree_orgs: Vec<CounterOrg>,
+}
+
+impl TreeConfig {
+    /// Builds a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree_orgs` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, enc_org: CounterOrg, tree_orgs: Vec<CounterOrg>) -> Self {
+        assert!(!tree_orgs.is_empty(), "at least one tree-level organization required");
+        TreeConfig { name: name.into(), enc_org, tree_orgs }
+    }
+
+    /// The commercial SGX MEE design: 8-ary counters for encryption and
+    /// every tree level (Table III's `Commercial-SGX`).
+    #[must_use]
+    pub fn sgx() -> Self {
+        let org = CounterOrg::Split { arity: 8 };
+        TreeConfig::new("Commercial-SGX", org, vec![org])
+    }
+
+    /// VAULT (Taassori et al., ASPLOS 2018): 64-ary encryption counters,
+    /// 32-ary at tree level 1, 16-ary at level 2 and beyond (Fig 4).
+    #[must_use]
+    pub fn vault() -> Self {
+        TreeConfig::new(
+            "VAULT",
+            CounterOrg::Split { arity: 64 },
+            vec![CounterOrg::Split { arity: 32 }, CounterOrg::Split { arity: 16 }],
+        )
+    }
+
+    /// The paper's baseline: SC-64 split counters throughout (64-ary tree).
+    #[must_use]
+    pub fn sc64() -> Self {
+        let org = CounterOrg::Split { arity: 64 };
+        TreeConfig::new("SC-64", org, vec![org])
+    }
+
+    /// The naive 128-ary design: SC-128 split counters throughout — fast to
+    /// traverse but overflow-prone (Fig 5's cautionary configuration).
+    #[must_use]
+    pub fn sc128() -> Self {
+        let org = CounterOrg::Split { arity: 128 };
+        TreeConfig::new("SC-128", org, vec![org])
+    }
+
+    /// The paper's proposal: MorphCtr-128 (ZCC + Rebasing) for encryption
+    /// and every tree level — the 128-ary *MorphTree*.
+    #[must_use]
+    pub fn morphtree() -> Self {
+        let org = CounterOrg::Morph(MorphMode::ZccRebase);
+        TreeConfig::new("MorphCtr-128", org, vec![org])
+    }
+
+    /// Ablation: morphable counters with ZCC only (no rebasing), as in
+    /// Fig 11.
+    #[must_use]
+    pub fn morphtree_zcc_only() -> Self {
+        let org = CounterOrg::Morph(MorphMode::ZccOnly);
+        TreeConfig::new("MorphCtr-128 (ZCC-only)", org, vec![org])
+    }
+
+    /// Ablation: single-base rebasing (footnote 5 of the paper) — the
+    /// 57-bit major doubles as the base shared by all 128 minors.
+    #[must_use]
+    pub fn morphtree_single_base() -> Self {
+        let org = CounterOrg::Morph(MorphMode::SingleBase);
+        TreeConfig::new("MorphCtr-128 (single-base)", org, vec![org])
+    }
+
+    /// The configuration's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Counter organization at `level` (0 = encryption counters; the last
+    /// configured tree organization repeats for all higher levels).
+    #[must_use]
+    pub fn org(&self, level: usize) -> CounterOrg {
+        if level == 0 {
+            self.enc_org
+        } else {
+            let idx = (level - 1).min(self.tree_orgs.len() - 1);
+            self.tree_orgs[idx]
+        }
+    }
+
+    /// Arity at `level` — shorthand for `self.org(level).arity()`.
+    #[must_use]
+    pub fn arity(&self, level: usize) -> usize {
+        self.org(level).arity()
+    }
+
+    /// All five configurations the paper's evaluation compares, in the
+    /// order of Table III.
+    #[must_use]
+    pub fn paper_lineup() -> Vec<TreeConfig> {
+        vec![
+            TreeConfig::sgx(),
+            TreeConfig::vault(),
+            TreeConfig::sc64(),
+            TreeConfig::morphtree(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_arities_match_the_paper() {
+        let sgx = TreeConfig::sgx();
+        assert_eq!(sgx.arity(0), 8);
+        assert_eq!(sgx.arity(3), 8);
+
+        let vault = TreeConfig::vault();
+        assert_eq!(vault.arity(0), 64);
+        assert_eq!(vault.arity(1), 32);
+        assert_eq!(vault.arity(2), 16);
+        assert_eq!(vault.arity(6), 16);
+
+        let sc64 = TreeConfig::sc64();
+        assert_eq!(sc64.arity(0), 64);
+        assert_eq!(sc64.arity(4), 64);
+
+        let morph = TreeConfig::morphtree();
+        assert_eq!(morph.arity(0), 128);
+        assert_eq!(morph.arity(1), 128);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TreeConfig::sc64().name(), "SC-64");
+        assert_eq!(TreeConfig::morphtree().name(), "MorphCtr-128");
+        assert_eq!(TreeConfig::vault().name(), "VAULT");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree-level organization")]
+    fn rejects_empty_tree_orgs() {
+        let _ = TreeConfig::new("bad", CounterOrg::Split { arity: 64 }, vec![]);
+    }
+
+    #[test]
+    fn lineup_has_four_configs() {
+        assert_eq!(TreeConfig::paper_lineup().len(), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! Integrity-tree configurations and geometry.
+//!
+//! A Bonsai-style counter tree (§II-A4) is built over the encryption
+//! counters: level 0 holds the encryption counters themselves, level 1
+//! counters key the MACs of level-0 lines, and so on up to an on-chip root.
+//! Each level shrinks by the *arity* of the counter organization used at
+//! that level, so packing more counters per line both shrinks the base of
+//! the tree (encryption-counter footprint) and steepens the shrink rate —
+//! the multiplicative effect behind the paper's 4x tree-size reduction.
+//!
+//! [`config::TreeConfig`] names the five designs the paper evaluates
+//! (Commercial SGX, VAULT, SC-64, SC-128, MorphTree); [`geometry`] computes
+//! per-level line counts, byte sizes, heights and the metadata address map
+//! for any memory size (Fig 1, Fig 17, Table III).
+
+pub mod config;
+pub mod geometry;
+
+pub use config::TreeConfig;
+pub use geometry::{LevelGeometry, TreeGeometry};

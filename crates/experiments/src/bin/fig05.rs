@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 05 (see `morphtree_experiments::figures::fig05`).
+
+use morphtree_experiments::figures::fig05;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig05::run(&mut lab);
+    report::emit("fig05", &output);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 06 (see `morphtree_experiments::figures::fig06`).
+
+use morphtree_experiments::figures::fig06;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig06::run(&mut lab);
+    report::emit("fig06", &output);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 07 (see `morphtree_experiments::figures::fig07`).
+
+use morphtree_experiments::figures::fig07;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig07::run(&mut lab);
+    report::emit("fig07", &output);
+}

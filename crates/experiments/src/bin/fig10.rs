@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 10 (see `morphtree_experiments::figures::fig10`).
+
+use morphtree_experiments::figures::fig10;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig10::run(&mut lab);
+    report::emit("fig10", &output);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 11 (see `morphtree_experiments::figures::fig11`).
+
+use morphtree_experiments::figures::fig11;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig11::run(&mut lab);
+    report::emit("fig11", &output);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 14 (see `morphtree_experiments::figures::fig14`).
+
+use morphtree_experiments::figures::fig14;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig14::run(&mut lab);
+    report::emit("fig14", &output);
+}

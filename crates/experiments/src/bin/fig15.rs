@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 15 (see `morphtree_experiments::figures::fig15`).
+
+use morphtree_experiments::figures::fig15;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig15::run(&mut lab);
+    report::emit("fig15", &output);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 16 (see `morphtree_experiments::figures::fig16`).
+
+use morphtree_experiments::figures::fig16;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig16::run(&mut lab);
+    report::emit("fig16", &output);
+}

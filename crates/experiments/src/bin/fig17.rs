@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 17 (see `morphtree_experiments::figures::fig17`).
+
+use morphtree_experiments::figures::fig17;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig17::run(&mut lab);
+    report::emit("fig17", &output);
+}

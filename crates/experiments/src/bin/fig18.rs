@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 18 (see `morphtree_experiments::figures::fig18`).
+
+use morphtree_experiments::figures::fig18;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig18::run(&mut lab);
+    report::emit("fig18", &output);
+}

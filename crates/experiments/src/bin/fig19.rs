@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 19 (see `morphtree_experiments::figures::fig19`).
+
+use morphtree_experiments::figures::fig19;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig19::run(&mut lab);
+    report::emit("fig19", &output);
+}

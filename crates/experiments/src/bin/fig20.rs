@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 20 (see `morphtree_experiments::figures::fig20`).
+
+use morphtree_experiments::figures::fig20;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = fig20::run(&mut lab);
+    report::emit("fig20", &output);
+}

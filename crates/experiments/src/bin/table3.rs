@@ -1,0 +1,10 @@
+//! Regenerates the paper's table3 (see `morphtree_experiments::figures::table3`).
+
+use morphtree_experiments::figures::table3;
+use morphtree_experiments::{report, Lab, Setup};
+
+fn main() {
+    let mut lab = Lab::new(Setup::default());
+    let output = table3::run(&mut lab);
+    report::emit("table3", &output);
+}

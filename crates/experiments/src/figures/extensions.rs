@@ -1,0 +1,325 @@
+//! Extension experiments beyond the paper's figures (DESIGN.md §7):
+//!
+//! - [`speculation`] — PoisonIvy-style safe speculation vs the compact
+//!   tree: §VIII-B2 argues speculation hides latency but not bandwidth;
+//!   this experiment shows both effects side by side.
+//! - [`replacement`] — metadata type-aware cache replacement (Lee et al.)
+//!   combined with each tree design.
+//! - [`single_base`] — footnote 5: single-base vs double-base rebasing.
+//! - [`sgx`] — the commercial SGX 8-ary design on the full-system
+//!   simulator, completing Table III with a performance column.
+//! - [`scaling`] — tree geometry from 4 GB to 64 GB: the 4x/8.5x size
+//!   ratios are scale-invariant.
+
+use morphtree_core::metadata::{MacMode, MetadataEngine, ReplacementPolicy, VerificationMode};
+use morphtree_core::tree::{TreeConfig, TreeGeometry};
+use morphtree_sim::controller::{MemoryController, SchedulerConfig};
+use morphtree_sim::dram::{DramGeometry, DramModel, DramTiming};
+use morphtree_sim::system::simulate;
+
+use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
+use crate::report::{geomean, pct_delta, Table};
+use crate::runner::{Lab, Setup};
+
+/// A representative workload subset (one per pattern class) for the
+/// extension sweeps, keeping them fast.
+fn subset() -> Vec<&'static str> {
+    vec!["mcf", "omnetpp", "GemsFDTD", "libquantum", "gcc", "pr-twit", "bc-web"]
+}
+
+/// PoisonIvy-style speculation ablation.
+pub fn speculation(lab: &mut Lab) -> String {
+    let workloads = subset();
+    let cfg_base = lab.setup().sim_config();
+
+    let mut rows = Vec::new();
+    for (tree, verification, label) in [
+        (TreeConfig::sc64(), VerificationMode::Strict, "SC-64 strict"),
+        (TreeConfig::sc64(), VerificationMode::Speculative, "SC-64 speculative"),
+        (TreeConfig::morphtree(), VerificationMode::Strict, "MorphCtr strict"),
+        (TreeConfig::morphtree(), VerificationMode::Speculative, "MorphCtr speculative"),
+    ] {
+        let mut rel = Vec::new();
+        let mut traffic = Vec::new();
+        for w in &workloads {
+            let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
+            let mut cfg = cfg_base.clone();
+            cfg.verification = verification;
+            let mut workload = lab.setup().workload(w);
+            let r = simulate(&mut workload, tree.clone(), &cfg);
+            rel.push(r.ipc() / base);
+            traffic.push(r.traffic_per_data_access());
+        }
+        rows.push((label, geomean(&rel), traffic.iter().sum::<f64>() / traffic.len() as f64));
+    }
+
+    let mut table = Table::new(vec!["config", "perf vs SC-64 strict", "traffic/access"]);
+    for (label, perf, traffic) in &rows {
+        table.row(vec![(*label).to_owned(), format!("{perf:.3}"), format!("{traffic:.3}")]);
+    }
+    let mut out = String::from(
+        "EXT speculation — safe speculation hides latency, not bandwidth (§VIII-B2)\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nSpeculation buys SC-64 {} but leaves its traffic at {:.3} accesses/access;\n\
+         the compact MorphTree removes the traffic itself ({:.3}), and the two compose:\n\
+         MorphCtr+speculation reaches {}.\n",
+        pct_delta(rows[1].1 / rows[0].1),
+        rows[1].2,
+        rows[3].2,
+        pct_delta(rows[3].1),
+    ));
+    out
+}
+
+/// Metadata type-aware replacement ablation.
+pub fn replacement(lab: &mut Lab) -> String {
+    let workloads = subset();
+    let cfg_base = lab.setup().sim_config();
+
+    let mut table = Table::new(vec!["config", "LRU", "level-aware", "gain"]);
+    let mut out =
+        String::from("EXT replacement — type-aware metadata-cache victim selection\n\n");
+    for tree in [TreeConfig::sc64(), TreeConfig::morphtree()] {
+        let mut per_policy = Vec::new();
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::LevelAware] {
+            let mut rel = Vec::new();
+            for w in &workloads {
+                let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
+                let mut cfg = cfg_base.clone();
+                cfg.replacement = policy;
+                let mut workload = lab.setup().workload(w);
+                let r = simulate(&mut workload, tree.clone(), &cfg);
+                rel.push(r.ipc() / base);
+            }
+            per_policy.push(geomean(&rel));
+        }
+        table.row(vec![
+            tree.name().to_owned(),
+            format!("{:.3}", per_policy[0]),
+            format!("{:.3}", per_policy[1]),
+            pct_delta(per_policy[1] / per_policy[0]),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nType-aware replacement mainly helps the *large* tree: protecting SC-64's\n\
+         upper levels recovers part of its deficit (the paper cites Lee et al. as an\n\
+         effective orthogonal technique), while the already-compact MorphTree has\n\
+         little to protect — its upper levels fit in the cache regardless.\n",
+    );
+    out
+}
+
+/// Footnote 5: single-base vs double-base rebasing.
+pub fn single_base(lab: &mut Lab) -> String {
+    let workloads = Setup::rate_workloads();
+    let configs = [
+        TreeConfig::morphtree_zcc_only(),
+        TreeConfig::morphtree_single_base(),
+        TreeConfig::morphtree(),
+    ];
+    let mut table = Table::new(vec![
+        "workload",
+        "ZCC-only",
+        "single-base",
+        "sb rebases/M",
+        "double-base",
+        "db rebases/M",
+    ]);
+    let mut sums = [0.0f64; 3];
+    let mut rebase_sums = [0.0f64; 2];
+    for w in &workloads {
+        let mut cells = vec![(*w).to_owned()];
+        for (i, config) in configs.iter().enumerate() {
+            let stats = lab.engine_stats(w, config.clone(), ENGINE_STUDY_INSTRUCTIONS);
+            let rate = stats.overflows_per_million_accesses();
+            let rebases: u64 = stats.rebases_by_level.iter().sum();
+            let rebases_per_m = rebases as f64 * 1e6 / stats.total_accesses().max(1) as f64;
+            sums[i] += rate;
+            cells.push(format!("{rate:.1}"));
+            if i > 0 {
+                rebase_sums[i - 1] += rebases_per_m;
+                cells.push(format!("{rebases_per_m:.1}"));
+            }
+        }
+        table.row(cells);
+    }
+    let n = workloads.len() as f64;
+    table.row(vec![
+        "Average".to_owned(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", rebase_sums[0] / n),
+        format!("{:.1}", sums[2] / n),
+        format!("{:.1}", rebase_sums[1] / n),
+    ]);
+    let mut out = String::from(
+        "EXT single-base — footnote 5: overflows/M accesses, single vs double base\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nSingle-base rebasing requires *all 128* minors non-zero, which with 4 KB\n\
+         pages (out-of-phase 64-counter halves) almost never holds at the tree\n\
+         levels where overflows concentrate — so it degenerates to ZCC-only there\n\
+         ({:.1} vs {:.1}/M; {:.1} rebases/M vs the double-base design's {:.1}).\n\
+         The double-base design rebases per 64-counter set instead; on our traces\n\
+         its MCR set dynamics cost some extra overflows ({:.1}/M), which the\n\
+         micro-benchmark `single_base_loses_to_double_base_on_out_of_phase_halves`\n\
+         shows is repaid in re-encryption *span* (64 vs 128 children per event).\n",
+        sums[1] / n,
+        sums[0] / n,
+        rebase_sums[0] / n,
+        rebase_sums[1] / n,
+        sums[2] / n,
+    ));
+    out
+}
+
+/// Commercial SGX on the full-system simulator.
+pub fn sgx(lab: &mut Lab) -> String {
+    let workloads = subset();
+    let mut rel = Vec::new();
+    let mut traffic = Vec::new();
+    for w in &workloads {
+        let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
+        let r = lab.result_with(
+            w,
+            Some(TreeConfig::sgx()),
+            lab.setup().metadata_cache_bytes(),
+            MacMode::Inline,
+        );
+        let ipc = r.ipc();
+        let t = r.traffic_per_data_access();
+        rel.push(ipc / base);
+        traffic.push(t);
+    }
+    let g = geomean(&rel);
+    let t = traffic.iter().sum::<f64>() / traffic.len() as f64;
+    let geometry = TreeGeometry::new(&TreeConfig::sgx(), 16 << 30);
+    format!(
+        "EXT sgx — the commercial 8-ary SGX MEE on the same system\n\n\
+         performance vs SC-64 (geomean, {} workloads): {:.3} ({})\n\
+         traffic per data access (mean):               {:.3}\n\
+         tree at 16 GB: {} levels, {:.0} MB — the cacheability cliff the paper's\n\
+         compact designs exist to avoid (Table III's 292 MB row, now with a\n\
+         performance column).\n",
+        rel.len(),
+        g,
+        pct_delta(g),
+        t,
+        geometry.height(),
+        geometry.tree_bytes() as f64 / (1 << 20) as f64,
+    )
+}
+
+/// Geometry scaling 4–64 GB.
+pub fn scaling(_lab: &mut Lab) -> String {
+    let mut table = Table::new(vec![
+        "memory", "SC-64 tree", "levels", "MorphTree", "levels", "ratio",
+    ]);
+    for gib in [4u64, 8, 16, 32, 64] {
+        let sc64 = TreeGeometry::new(&TreeConfig::sc64(), gib << 30);
+        let morph = TreeGeometry::new(&TreeConfig::morphtree(), gib << 30);
+        table.row(vec![
+            format!("{gib} GB"),
+            format!("{:.2} MB", sc64.tree_bytes() as f64 / (1 << 20) as f64),
+            format!("{}", sc64.height()),
+            format!("{:.2} MB", morph.tree_bytes() as f64 / (1 << 20) as f64),
+            format!("{}", morph.height()),
+            format!("{:.1}x", sc64.tree_bytes() as f64 / morph.tree_bytes() as f64),
+        ]);
+    }
+    let mut out = String::from("EXT scaling — tree size vs memory size (exact)\n\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "\nThe 4x compaction is scale-invariant: it comes from arity, not tuning —\n\
+         the scalability argument of the paper's abstract.\n",
+    );
+    out
+}
+
+/// FR-FCFS scheduling vs arrival-order service on identical secure-memory
+/// access streams.
+pub fn scheduler(lab: &mut Lab) -> String {
+    let mut table = Table::new(vec![
+        "workload",
+        "arrival finish",
+        "FR-FCFS finish",
+        "speedup",
+        "hit-rate arr",
+        "hit-rate frfcfs",
+    ]);
+    let setup = lab.setup().clone();
+    for name in ["mcf", "libquantum", "omnetpp"] {
+        // Build the secure-memory access stream once.
+        let mut workload = setup.workload(name);
+        let mut engine = MetadataEngine::new(
+            TreeConfig::sc64(),
+            setup.memory_bytes(),
+            setup.metadata_cache_bytes(),
+            MacMode::Inline,
+        );
+        let mut stream = Vec::new();
+        let mut accesses = Vec::new();
+        let mut clock = 0u64;
+        for _ in 0..40_000 {
+            let rec = workload.next_record(0);
+            clock += u64::from(rec.gap.min(64)) + 1;
+            accesses.clear();
+            if rec.is_write {
+                engine.write(rec.line, &mut accesses);
+            } else {
+                engine.read(rec.line, &mut accesses);
+            }
+            for a in &accesses {
+                stream.push((clock, a.addr, a.is_write));
+            }
+        }
+
+        let timing = DramTiming { t_refi: 0, ..DramTiming::default() };
+        let mut arrival = DramModel::new(DramGeometry::default(), timing);
+        let mut arrival_finish = 0u64;
+        for &(at, addr, is_write) in &stream {
+            arrival_finish = arrival_finish.max(arrival.request(at, addr, is_write));
+        }
+
+        let mut frfcfs =
+            MemoryController::new(DramGeometry::default(), timing, SchedulerConfig::default());
+        let mut ids = Vec::with_capacity(stream.len());
+        for chunk in stream.chunks(64) {
+            // Enqueue in bursts of 64 — the controller reorders within its
+            // queues, as a real MC reorders within its request window.
+            for &(at, addr, is_write) in chunk {
+                ids.push(frfcfs.enqueue(at, addr, is_write));
+            }
+            frfcfs.drain_all();
+        }
+        let frfcfs_finish = ids
+            .iter()
+            .map(|&id| frfcfs.complete(id))
+            .max()
+            .expect("non-empty stream");
+
+        table.row(vec![
+            name.to_owned(),
+            format!("{arrival_finish}"),
+            format!("{frfcfs_finish}"),
+            format!("{:.2}x", arrival_finish as f64 / frfcfs_finish as f64),
+            format!("{:.2}", arrival.stats().row_hit_rate()),
+            format!("{:.2}", frfcfs.stats().row_hit_rate()),
+        ]);
+    }
+    let mut out = String::from(
+        "EXT scheduler — FR-FCFS + write-drain vs arrival-order DRAM service\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(
+        "\nThe discrete-event controller reorders within its request window (row hits\n\
+         first, writes drained in batches), recovering row locality the in-order\n\
+         model loses; both models agree on the traffic itself, so the paper-shape\n\
+         results are insensitive to the choice (see DESIGN.md).\n",
+    );
+    out
+}

@@ -1,0 +1,57 @@
+//! Fig 11 — overflows per million memory accesses: SC-64 vs SC-128 vs
+//! MorphCtr-128 (ZCC-only), per workload.
+//!
+//! Paper result: SC-128 overflows 7.4x more than SC-64 on average;
+//! MorphCtr-128 with ZCC alone overflows 1.4x *less* than SC-64 and 10.2x
+//! less than SC-128. ZCC helps most on sparse-access workloads
+//! (mcf, omnetpp, xalancbmk); streaming workloads still favor SC-64 until
+//! rebasing is added (Fig 14).
+
+use morphtree_core::tree::TreeConfig;
+
+use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
+use crate::report::Table;
+use crate::runner::{Lab, Setup};
+
+/// Regenerates Fig 11.
+pub fn run(lab: &mut Lab) -> String {
+    let configs = [
+        TreeConfig::sc64(),
+        TreeConfig::sc128(),
+        TreeConfig::morphtree_zcc_only(),
+    ];
+    let mut table = Table::new(vec!["workload", "SC-64", "SC-128", "MorphCtr(ZCC)"]);
+    let mut sums = [0.0f64; 3];
+    let workloads = Setup::rate_workloads();
+    for w in &workloads {
+        let mut cells = vec![(*w).to_owned()];
+        for (i, config) in configs.iter().enumerate() {
+            let rate = lab
+                .engine_stats(w, config.clone(), ENGINE_STUDY_INSTRUCTIONS)
+                .overflows_per_million_accesses();
+            sums[i] += rate;
+            cells.push(format!("{rate:.1}"));
+        }
+        table.row(cells);
+    }
+    let n = workloads.len() as f64;
+    table.row(vec![
+        "Average".to_owned(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", sums[2] / n),
+    ]);
+
+    let mut out =
+        String::from("Fig 11 — overflows per million memory accesses (ZCC-only morphable)\n\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nSC-128/SC-64 average ratio:        {:.1}x (paper: 7.4x more)\n\
+         SC-64/MorphCtr(ZCC) average ratio: {:.1}x (paper: 1.4x fewer for MorphCtr)\n\
+         SC-128/MorphCtr(ZCC) average:      {:.1}x (paper: 10.2x)\n",
+        sums[1] / sums[0].max(1e-9),
+        sums[0] / sums[2].max(1e-9),
+        sums[1] / sums[2].max(1e-9),
+    ));
+    out
+}

@@ -1,0 +1,66 @@
+//! Fig 15 — the headline result: performance of MorphCtr-128 vs SC-64 and
+//! VAULT across all 28 workloads (SPEC, mixes, GAP), normalized to SC-64.
+//!
+//! Paper result: MorphCtr-128 +6.3% geomean (up to +28.3%), VAULT −6.4%;
+//! the largest gains come from random-access workloads (mcf, omnetpp,
+//! xalancbmk, GAP-twitter); streaming workloads are neutral; GemsFDTD is
+//! the only slowdown (−2%).
+
+use morphtree_core::tree::TreeConfig;
+
+use crate::report::{geomean, pct_delta, Table};
+use crate::runner::{Lab, Setup};
+
+/// Regenerates Fig 15.
+pub fn run(lab: &mut Lab) -> String {
+    let workloads = Setup::all_workloads();
+    let mut table = Table::new(vec!["workload", "VAULT", "SC-64", "MorphCtr-128"]);
+    let mut vault_all = Vec::new();
+    let mut morph_all = Vec::new();
+    let mut suite_morph: Vec<(&str, Vec<f64>)> =
+        vec![("SPEC", Vec::new()), ("MIX", Vec::new()), ("GAP", Vec::new())];
+
+    for (idx, w) in workloads.iter().enumerate() {
+        let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
+        let vault = lab.result(w, Some(TreeConfig::vault())).ipc() / base;
+        let morph = lab.result(w, Some(TreeConfig::morphtree())).ipc() / base;
+        vault_all.push(vault);
+        morph_all.push(morph);
+        let suite = if idx < 16 { 0 } else if idx < 22 { 1 } else { 2 };
+        suite_morph[suite].1.push(morph);
+        table.row(vec![
+            (*w).to_owned(),
+            format!("{vault:.3}"),
+            "1.000".to_owned(),
+            format!("{morph:.3}"),
+        ]);
+    }
+
+    let mut out = String::from("Fig 15 — performance normalized to SC-64\n\n");
+    out.push_str(&table.render());
+    out.push('\n');
+    for (suite, vals) in &suite_morph {
+        out.push_str(&format!(
+            "{suite} geomean MorphCtr-128: {:.3} ({})\n",
+            geomean(vals),
+            pct_delta(geomean(vals))
+        ));
+    }
+    let g_morph = geomean(&morph_all);
+    let g_vault = geomean(&vault_all);
+    let best = morph_all.iter().cloned().fold(f64::MIN, f64::max);
+    out.push_str(&format!(
+        "\nALL28 geomean MorphCtr-128 vs SC-64: {:.3} ({})   [paper: +6.3%, up to +28.3%]\n\
+         ALL28 geomean VAULT vs SC-64:        {:.3} ({})   [paper: -6.4%]\n\
+         ALL28 geomean MorphCtr vs VAULT:     {:.3} ({})   [paper: +13.5%, up to +47.4%]\n\
+         best workload speedup: {}\n",
+        g_morph,
+        pct_delta(g_morph),
+        g_vault,
+        pct_delta(g_vault),
+        g_morph / g_vault,
+        pct_delta(g_morph / g_vault),
+        pct_delta(best),
+    ));
+    out
+}

@@ -1,0 +1,75 @@
+//! Fig 16 — memory-traffic breakdown per data access, by Fig 16's
+//! categories, for VAULT / SC-64 / MorphCtr-128.
+//!
+//! Paper result: MorphCtr-128 needs 0.5 extra accesses per data access vs
+//! SC-64's 0.6 (one fewer tree level to miss on), with overflow handling
+//! costs on par (0.07 vs 0.06); VAULT needs 0.74 counter accesses — 9.7%
+//! more total traffic than SC-64.
+
+use morphtree_core::metadata::AccessCategory;
+use morphtree_core::tree::TreeConfig;
+
+use crate::report::Table;
+use crate::runner::{Lab, Setup};
+
+/// Regenerates Fig 16.
+pub fn run(lab: &mut Lab) -> String {
+    let workloads = Setup::all_workloads();
+    let configs = [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()];
+
+    let mut table = Table::new(vec![
+        "workload", "config", "Ctr_Encr", "Ctr_1", "Ctr_2", "Ctr_3&Up", "Overflow", "Total",
+    ]);
+    let mut sums = vec![[0.0f64; 6]; configs.len()];
+    for w in &workloads {
+        for (ci, config) in configs.iter().enumerate() {
+            let stats = lab.result(w, Some(config.clone())).engine.clone();
+            let row = [
+                stats.category_per_data_access(AccessCategory::CtrEncr),
+                stats.category_per_data_access(AccessCategory::Ctr1),
+                stats.category_per_data_access(AccessCategory::Ctr2),
+                stats.category_per_data_access(AccessCategory::Ctr3Up),
+                stats.category_per_data_access(AccessCategory::Overflow),
+                stats.traffic_per_data_access(),
+            ];
+            for (acc, v) in sums[ci].iter_mut().zip(row) {
+                *acc += v;
+            }
+            table.row(vec![
+                (*w).to_owned(),
+                config.name().to_owned(),
+                format!("{:.3}", row[0]),
+                format!("{:.3}", row[1]),
+                format!("{:.3}", row[2]),
+                format!("{:.3}", row[3]),
+                format!("{:.3}", row[4]),
+                format!("{:.3}", row[5]),
+            ]);
+        }
+    }
+    let n = workloads.len() as f64;
+    for (ci, config) in configs.iter().enumerate() {
+        table.row(vec![
+            "AVERAGE".to_owned(),
+            config.name().to_owned(),
+            format!("{:.3}", sums[ci][0] / n),
+            format!("{:.3}", sums[ci][1] / n),
+            format!("{:.3}", sums[ci][2] / n),
+            format!("{:.3}", sums[ci][3] / n),
+            format!("{:.3}", sums[ci][4] / n),
+            format!("{:.3}", sums[ci][5] / n),
+        ]);
+    }
+
+    let mut out = String::from("Fig 16 — memory accesses per data access, by category\n\n");
+    out.push_str(&table.render());
+    let vault_total = sums[0][5] / n;
+    let sc64_total = sums[1][5] / n;
+    let morph_total = sums[2][5] / n;
+    out.push_str(&format!(
+        "\nAverage traffic vs SC-64: VAULT {:+.1}% (paper +9.7%), MorphCtr {:+.1}% (paper -8.8%)\n",
+        (vault_total / sc64_total - 1.0) * 100.0,
+        (morph_total / sc64_total - 1.0) * 100.0,
+    ));
+    out
+}

@@ -1,0 +1,63 @@
+//! Fig 17 (and Fig 1) — integrity-tree levels and per-level footprints for
+//! VAULT, SC-64 and MorphCtr-128 at 16 GB, computed exactly.
+//!
+//! Paper result: VAULT needs 6 levels (8.5 MB), SC-64 4 levels (4 MB),
+//! MorphCtr-128 only 3 levels (1 MB).
+
+use morphtree_core::tree::{TreeConfig, TreeGeometry};
+
+use crate::report::Table;
+use crate::runner::Lab;
+
+fn human(bytes: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if bytes >= GIB {
+        format!("{:.0} GB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.0} MB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.0} KB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Regenerates Fig 17 (exact, full 16 GB geometry).
+pub fn run(_lab: &mut Lab) -> String {
+    let memory = 16u64 << 30;
+    let mut out = String::from("Fig 17 — integrity-tree geometry at 16 GB (exact)\n\n");
+    for config in [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()] {
+        let geometry = TreeGeometry::new(&config, memory);
+        let mut table = Table::new(vec!["level", "arity", "lines", "size"]);
+        table.row(vec![
+            "Encryption ctrs".to_owned(),
+            format!("{}", geometry.levels()[0].arity),
+            format!("{}", geometry.levels()[0].lines),
+            human(geometry.enc_bytes()),
+        ]);
+        for level in &geometry.levels()[1..] {
+            table.row(vec![
+                format!("Tree level {}", level.level),
+                format!("{}", level.arity),
+                format!("{}", level.lines),
+                human(level.bytes()),
+            ]);
+        }
+        out.push_str(&format!(
+            "{} — {} tree levels, total tree {}\n",
+            config.name(),
+            geometry.height(),
+            human(geometry.tree_bytes())
+        ));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper: VAULT 6 levels (8 MB + 512 KB + 32 KB + 2 KB + 128 B + 64 B),\n\
+         SC-64 4 levels (4 MB + 64 KB + 1 KB + 64 B),\n\
+         MorphCtr-128 3 levels (1 MB + 8 KB + 64 B).\n",
+    );
+    out
+}

@@ -1,0 +1,57 @@
+//! Fig 18 — system power, execution time, energy and energy-delay product,
+//! normalized to SC-64.
+//!
+//! Paper result: MorphCtr-128 cuts execution time 6%, raising average
+//! power 4% (same work, less time) but saving 2.7% energy and 8.8% EDP;
+//! VAULT costs 3.2% energy and 10.5% EDP.
+
+use morphtree_core::tree::TreeConfig;
+
+use crate::report::{geomean, pct_delta, Table};
+use crate::runner::{Lab, Setup};
+
+/// Regenerates Fig 18.
+pub fn run(lab: &mut Lab) -> String {
+    let workloads = Setup::all_workloads();
+    let configs = [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()];
+
+    let mut table = Table::new(vec!["config", "power", "exec time", "energy", "EDP"]);
+    let mut summary = Vec::new();
+    for config in &configs {
+        let mut power = Vec::new();
+        let mut time = Vec::new();
+        let mut energy = Vec::new();
+        let mut edp = Vec::new();
+        for w in &workloads {
+            let base = lab.result(w, Some(TreeConfig::sc64())).energy;
+            let e = lab.result(w, Some(config.clone())).energy;
+            power.push(e.power_w() / base.power_w());
+            time.push(e.time_s / base.time_s);
+            energy.push(e.energy_j() / base.energy_j());
+            edp.push(e.edp() / base.edp());
+        }
+        let row = [geomean(&power), geomean(&time), geomean(&energy), geomean(&edp)];
+        table.row(vec![
+            config.name().to_owned(),
+            format!("{:.3}", row[0]),
+            format!("{:.3}", row[1]),
+            format!("{:.3}", row[2]),
+            format!("{:.3}", row[3]),
+        ]);
+        summary.push((config.name().to_owned(), row));
+    }
+
+    let mut out =
+        String::from("Fig 18 — power / time / energy / EDP normalized to SC-64 (geomean)\n\n");
+    out.push_str(&table.render());
+    let morph = &summary[2].1;
+    out.push_str(&format!(
+        "\nMorphCtr-128: time {}, power {}, energy {}, EDP {}\n\
+         Paper:        time -6%,  power +4%,  energy -2.7%, EDP -8.8%\n",
+        pct_delta(morph[1]),
+        pct_delta(morph[0]),
+        pct_delta(morph[2]),
+        pct_delta(morph[3]),
+    ));
+    out
+}

@@ -1,0 +1,59 @@
+//! Fig 20 — sensitivity to MAC organization: separate MACs (one extra
+//! access per data access) vs Synergy-style in-line MACs.
+//!
+//! Paper result: separate MACs slow both designs by ~29%; MorphCtr's
+//! speedup over SC-64 is +4.7% with separate MACs vs +6.3% in-line.
+
+use morphtree_core::metadata::MacMode;
+use morphtree_core::tree::TreeConfig;
+
+use crate::report::{geomean, pct_delta, Table};
+use crate::runner::{Lab, Setup};
+
+/// Regenerates Fig 20.
+pub fn run(lab: &mut Lab) -> String {
+    let workloads = Setup::all_workloads();
+    let cache = lab.setup().metadata_cache_bytes();
+    let mut rel = |tree: TreeConfig, mac: MacMode| -> f64 {
+        let vals: Vec<f64> = workloads
+            .iter()
+            .map(|w| {
+                let base = lab
+                    .result_with(w, Some(TreeConfig::sc64()), cache, MacMode::Inline)
+                    .ipc();
+                lab.result_with(w, Some(tree.clone()), cache, mac).ipc() / base
+            })
+            .collect();
+        geomean(&vals)
+    };
+
+    let sc64_sep = rel(TreeConfig::sc64(), MacMode::Separate);
+    let morph_sep = rel(TreeConfig::morphtree(), MacMode::Separate);
+    let morph_inline = rel(TreeConfig::morphtree(), MacMode::Inline);
+
+    let mut table = Table::new(vec!["config", "Separate MACs", "In-Line MACs"]);
+    table.row(vec![
+        "SC-64".to_owned(),
+        format!("{sc64_sep:.3}"),
+        "1.000".to_owned(),
+    ]);
+    table.row(vec![
+        "MorphCtr-128".to_owned(),
+        format!("{morph_sep:.3}"),
+        format!("{morph_inline:.3}"),
+    ]);
+
+    let mut out = String::from(
+        "Fig 20 — MAC organization sensitivity (geomean, normalized to SC-64 in-line)\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nSeparate-MAC slowdown for SC-64:       {} (paper: -29%)\n\
+         MorphCtr speedup with separate MACs:   {} (paper: +4.7%)\n\
+         MorphCtr speedup with in-line MACs:    {} (paper: +6.3%)\n",
+        pct_delta(sc64_sep),
+        pct_delta(morph_sep / sc64_sep),
+        pct_delta(morph_inline),
+    ));
+    out
+}

@@ -1,0 +1,22 @@
+//! One module per reproduced table/figure. Every module exposes
+//! `run(&mut Lab) -> String`, which regenerates the result and returns the
+//! formatted report (the binaries print it and save it under `results/`).
+
+pub mod extensions;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig10;
+pub mod fig11;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table3;
+
+/// Instructions per core for the timing-free counter-behaviour studies
+/// (Fig 7/11/14); longer than timing runs so overflow rates stabilize.
+pub const ENGINE_STUDY_INSTRUCTIONS: u64 = 4_000_000;

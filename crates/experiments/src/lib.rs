@@ -1,0 +1,26 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§VII).
+//!
+//! Each figure has a binary (`fig05` … `fig20`, `table3`) and a library
+//! entry point in [`figures`]; `runall` regenerates everything and writes
+//! a combined report.
+//!
+//! # Scaling
+//!
+//! The paper simulates 4-core systems over 16 GB of DRAM for 30 billion
+//! instructions per workload. We reproduce the *relative* results at a
+//! uniformly scaled-down operating point (see [`runner::Setup`]): memory,
+//! metadata cache, and workload footprints are all divided by the same
+//! factor, preserving every density that drives the paper's phenomena —
+//! footprint/memory (page-allocation sparsity), working-set/cache
+//! (tree-level cacheability), and writes/line (overflow rates). Geometry
+//! results (Fig 1/17, Table III) are computed at the full 16 GB, exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use runner::{Lab, Setup};

@@ -1,0 +1,302 @@
+//! Shared experiment infrastructure: the scaled operating point, workload
+//! construction by name, and a memoizing run cache so `runall` never
+//! simulates the same configuration twice.
+
+use std::collections::HashMap;
+
+use morphtree_core::metadata::{EngineStats, MacMode, MetadataEngine};
+use morphtree_core::tree::TreeConfig;
+use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig, SimResult};
+use morphtree_trace::catalog::{Benchmark, MIXES};
+use morphtree_trace::workload::SystemWorkload;
+
+/// The scaled operating point (see the crate docs for the rationale).
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Uniform scale factor: memory, metadata cache and footprints are all
+    /// divided by this.
+    pub scale: u64,
+    /// Warm-up instructions per core.
+    pub warmup_instructions: u64,
+    /// Measured instructions per core.
+    pub measure_instructions: u64,
+    /// Deterministic base seed.
+    pub seed: u64,
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        Setup {
+            scale: 16,
+            warmup_instructions: 4_000_000,
+            measure_instructions: 2_000_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Setup {
+    /// Physical memory at this scale (paper: 16 GB).
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        (16 << 30) / self.scale
+    }
+
+    /// Metadata cache at this scale (paper: 128 KB).
+    #[must_use]
+    pub fn metadata_cache_bytes(&self) -> usize {
+        ((128 * 1024) / self.scale).max(4096) as usize
+    }
+
+    /// Scales another cache size consistently (for the Fig 19 sweep).
+    #[must_use]
+    pub fn scaled_cache(&self, paper_bytes: u64) -> usize {
+        (paper_bytes / self.scale).max(4096) as usize
+    }
+
+    /// The simulator configuration at this scale.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            memory_bytes: self.memory_bytes(),
+            metadata_cache_bytes: self.metadata_cache_bytes(),
+            warmup_instructions: self.warmup_instructions,
+            measure_instructions: self.measure_instructions,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Builds the workload named `name` (a Table II benchmark or
+    /// `mix1`..`mix6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    #[must_use]
+    pub fn workload(&self, name: &str) -> SystemWorkload {
+        if let Some(mix) = MIXES.iter().find(|m| m.name == name) {
+            // Mixes use the same footprint divisor as rate mode.
+            return SystemWorkload::mix(mix, self.memory_bytes(), self.seed);
+        }
+        let bench = Benchmark::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        SystemWorkload::rate_scaled(bench, 4, self.memory_bytes(), self.seed, self.scale)
+    }
+
+    /// The 22 rate-mode workloads (Table II order).
+    #[must_use]
+    pub fn rate_workloads() -> Vec<&'static str> {
+        Benchmark::all().iter().map(|b| b.name).collect()
+    }
+
+    /// All 28 workloads of Fig 15/16: 16 SPEC, 6 mixes, 6 GAP — in the
+    /// paper's figure order (SPEC, MIX, GAP).
+    #[must_use]
+    pub fn all_workloads() -> Vec<&'static str> {
+        let mut names: Vec<&'static str> =
+            Benchmark::spec().iter().map(|b| b.name).collect();
+        names.extend(MIXES.iter().map(|m| m.name));
+        names.extend(Benchmark::gap().iter().map(|b| b.name));
+        names
+    }
+}
+
+/// Key identifying one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RunKey {
+    workload: String,
+    config: String,
+    cache_bytes: usize,
+    mac: MacMode,
+}
+
+/// Key identifying one engine-only (timing-free) run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EngineKey {
+    workload: String,
+    config: String,
+    instructions: u64,
+}
+
+/// A memoizing experiment driver.
+pub struct Lab {
+    setup: Setup,
+    runs: HashMap<RunKey, SimResult>,
+    engine_runs: HashMap<EngineKey, EngineStats>,
+    /// Progress lines are printed when true (default).
+    pub verbose: bool,
+}
+
+impl Lab {
+    /// Creates a lab at the given operating point.
+    #[must_use]
+    pub fn new(setup: Setup) -> Self {
+        Lab { setup, runs: HashMap::new(), engine_runs: HashMap::new(), verbose: true }
+    }
+
+    /// The operating point.
+    #[must_use]
+    pub fn setup(&self) -> &Setup {
+        &self.setup
+    }
+
+    /// Full-system result for `workload` under `tree` (None = non-secure),
+    /// at the default cache size and inline MACs. Memoized.
+    pub fn result(&mut self, workload: &str, tree: Option<TreeConfig>) -> &SimResult {
+        let cache = self.setup.metadata_cache_bytes();
+        self.result_with(workload, tree, cache, MacMode::Inline)
+    }
+
+    /// Full-system result with explicit cache size and MAC mode. Memoized.
+    pub fn result_with(
+        &mut self,
+        workload: &str,
+        tree: Option<TreeConfig>,
+        cache_bytes: usize,
+        mac: MacMode,
+    ) -> &SimResult {
+        let config_name = tree
+            .as_ref()
+            .map_or_else(|| "Non-Secure".to_owned(), |t| t.name().to_owned());
+        let key = RunKey {
+            workload: workload.to_owned(),
+            config: config_name,
+            cache_bytes,
+            mac,
+        };
+        if !self.runs.contains_key(&key) {
+            if self.verbose {
+                eprintln!(
+                    "[run] {} / {} (cache {} KB, {:?})",
+                    key.workload,
+                    key.config,
+                    cache_bytes / 1024,
+                    mac
+                );
+            }
+            let mut cfg = self.setup.sim_config();
+            cfg.metadata_cache_bytes = cache_bytes;
+            cfg.mac_mode = mac;
+            let mut w = self.setup.workload(workload);
+            let result = match tree {
+                Some(t) => simulate(&mut w, t, &cfg),
+                None => simulate_nonsecure(&mut w, &cfg),
+            };
+            self.runs.insert(key.clone(), result);
+        }
+        &self.runs[&key]
+    }
+
+    /// Timing-free engine statistics for `workload` under `tree`, measured
+    /// over `instructions` per core after an equal warm-up — used by the
+    /// counter-behaviour figures (Fig 7/11/14), which need longer windows
+    /// than full-timing runs afford. Memoized.
+    pub fn engine_stats(
+        &mut self,
+        workload: &str,
+        tree: TreeConfig,
+        instructions: u64,
+    ) -> &EngineStats {
+        let key = EngineKey {
+            workload: workload.to_owned(),
+            config: tree.name().to_owned(),
+            instructions,
+        };
+        if !self.engine_runs.contains_key(&key) {
+            if self.verbose {
+                eprintln!("[engine] {} / {}", key.workload, key.config);
+            }
+            let mut workload = self.setup.workload(&key.workload);
+            let mut engine = MetadataEngine::new(
+                tree,
+                self.setup.memory_bytes(),
+                self.setup.metadata_cache_bytes(),
+                MacMode::Inline,
+            );
+            let mut accesses = Vec::with_capacity(512);
+            let cores = workload.num_cores();
+            // Warm-up then measure, round-robin across cores.
+            for phase in 0..2u8 {
+                if phase == 1 {
+                    engine.reset_stats();
+                }
+                let mut instrs = vec![0u64; cores];
+                while instrs.iter().any(|&i| i < instructions) {
+                    for core in 0..cores {
+                        if instrs[core] >= instructions {
+                            continue;
+                        }
+                        let rec = workload.next_record(core);
+                        *instrs.get_mut(core).expect("core index") += u64::from(rec.gap) + 1;
+                        accesses.clear();
+                        if rec.is_write {
+                            engine.write(rec.line, &mut accesses);
+                        } else {
+                            engine.read(rec.line, &mut accesses);
+                        }
+                    }
+                }
+            }
+            self.engine_runs.insert(key.clone(), engine.stats().clone());
+        }
+        &self.engine_runs[&key]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_setup() -> Setup {
+        Setup {
+            scale: 64,
+            warmup_instructions: 50_000,
+            measure_instructions: 50_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn setup_scales_consistently() {
+        let s = Setup::default();
+        assert_eq!(s.memory_bytes(), 1 << 30);
+        assert_eq!(s.metadata_cache_bytes(), 8 * 1024);
+        assert_eq!(s.scaled_cache(256 * 1024), 16 * 1024);
+        // The floor.
+        assert_eq!(Setup { scale: 1024, ..s }.metadata_cache_bytes(), 4096);
+    }
+
+    #[test]
+    fn workload_lists_cover_the_paper() {
+        assert_eq!(Setup::rate_workloads().len(), 22);
+        let all = Setup::all_workloads();
+        assert_eq!(all.len(), 28);
+        assert!(all.contains(&"mix3"));
+        assert_eq!(all[16], "mix1", "mixes sit between SPEC and GAP");
+    }
+
+    #[test]
+    fn lab_memoizes_runs() {
+        let mut lab = Lab::new(quick_setup());
+        lab.verbose = false;
+        let a = lab.result("libquantum", Some(TreeConfig::sc64())).cycles;
+        let before = lab.runs.len();
+        let b = lab.result("libquantum", Some(TreeConfig::sc64())).cycles;
+        assert_eq!(a, b);
+        assert_eq!(lab.runs.len(), before);
+    }
+
+    #[test]
+    fn engine_stats_accumulate_data_accesses() {
+        let mut lab = Lab::new(quick_setup());
+        lab.verbose = false;
+        let stats = lab.engine_stats("lbm", TreeConfig::morphtree(), 50_000);
+        assert!(stats.data_accesses() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = quick_setup().workload("not-a-benchmark");
+    }
+}

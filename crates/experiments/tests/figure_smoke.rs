@@ -1,0 +1,72 @@
+//! Smoke tests for the figure generators: the analytic ones run exactly
+//! and instantly; the simulation-backed ones are exercised at a tiny
+//! operating point to prove they produce well-formed reports end-to-end.
+
+use morphtree_experiments::figures::{extensions, fig06, fig10, fig17, table3};
+use morphtree_experiments::{Lab, Setup};
+
+fn lab() -> Lab {
+    let mut lab = Lab::new(Setup {
+        scale: 256,
+        warmup_instructions: 20_000,
+        measure_instructions: 20_000,
+        seed: 7,
+    });
+    lab.verbose = false;
+    lab
+}
+
+#[test]
+fn table3_reports_the_paper_numbers() {
+    let out = table3::run(&mut lab());
+    assert!(out.contains("Commercial-SGX"));
+    assert!(out.contains("292.6 MB"));
+    assert!(out.contains("2.0 GB"));
+    assert!(out.contains("128.0 MB"));
+}
+
+#[test]
+fn fig17_reports_heights_6_4_3() {
+    let out = fig17::run(&mut lab());
+    assert!(out.contains("VAULT — 6 tree levels"));
+    assert!(out.contains("SC-64 — 4 tree levels"));
+    assert!(out.contains("MorphCtr-128 — 3 tree levels"));
+}
+
+#[test]
+fn fig06_shows_the_8x_gap() {
+    let out = fig06::run(&mut lab());
+    // SC-64 worst case 64 writes; fully-used 4096.
+    assert!(out.contains("64"));
+    assert!(out.contains("4096"));
+}
+
+#[test]
+fn fig10_shows_the_zcc_crossover() {
+    let out = fig10::run(&mut lab());
+    // Sparse usage: 16-bit counters (65536 writes each); dense usage: the
+    // 8x penalty vs SC-64 appears around quarter usage.
+    assert!(out.contains("65536"), "16-bit ZCC counters:\n{out}");
+    assert!(out.contains("8.00x"), "the 8x advantage near 25% usage:\n{out}");
+}
+
+#[test]
+fn scaling_extension_is_scale_invariant() {
+    let out = extensions::scaling(&mut lab());
+    let fours = out.matches("4.0x").count();
+    assert!(fours >= 5, "every memory size shows the 4x ratio:\n{out}");
+}
+
+#[test]
+fn simulation_backed_figure_runs_at_tiny_scale() {
+    // End-to-end: a Lab at scale 256 drives real simulations quickly.
+    let mut lab = lab();
+    let result = lab.result("libquantum", Some(morphtree_core::tree::TreeConfig::sc64()));
+    assert!(result.ipc() > 0.0);
+    let base = result.cycles;
+    // Memoization: second call returns the identical result.
+    assert_eq!(
+        lab.result("libquantum", Some(morphtree_core::tree::TreeConfig::sc64())).cycles,
+        base
+    );
+}

@@ -1,0 +1,514 @@
+//! DDR3-1600 memory-system timing model.
+//!
+//! Table I's memory system: 800 MHz bus, 2 channels × 2 ranks × 8 banks,
+//! 64 K rows per bank, 128 cachelines (8 KB) per row, open-page policy.
+//!
+//! The model tracks, per bank, the open row and the earliest cycle the bank
+//! can accept a new column command, and per channel the data-bus busy time.
+//! A request's completion is `max(arrival, bank ready, bus free)` plus the
+//! row-hit or row-miss access latency plus the burst. Requests are serviced
+//! in arrival order with an open-row policy, so streaming access patterns
+//! enjoy row hits and bank-level parallelism overlaps independent requests
+//! — the two first-order DDR behaviours the paper's traffic-bloat argument
+//! rests on. Rank-level constraints are modeled too: tRRD and the
+//! four-activate window (tFAW) gate activations, and one refresh per tREFI
+//! blocks the rank for tRFC. (Command-bus contention is second-order for
+//! these experiments and is not modeled; see DESIGN.md.)
+//!
+//! All times are in **CPU cycles** (3.2 GHz core, 800 MHz bus ⇒ one bus
+//! cycle = 4 CPU cycles).
+
+/// CPU cycles per DRAM bus cycle (3.2 GHz / 800 MHz).
+pub const CPU_PER_BUS_CYCLE: u64 = 4;
+
+/// DDR3 timing parameters, in CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row-to-column delay (activate → read/write).
+    pub t_rcd: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// CAS (column access) latency.
+    pub t_cas: u64,
+    /// Data burst duration for one 64-byte line (BL8).
+    pub t_burst: u64,
+    /// Write recovery added to the bank busy time after a write.
+    pub t_wr: u64,
+    /// Minimum activate-to-activate gap between banks of one rank.
+    pub t_rrd: u64,
+    /// Four-activate window per rank (at most 4 activates per tFAW).
+    pub t_faw: u64,
+    /// Refresh cycle time: the rank is unavailable this long per refresh.
+    pub t_rfc: u64,
+    /// Average refresh interval (one refresh per tREFI per rank); zero
+    /// disables refresh modeling.
+    pub t_refi: u64,
+}
+
+impl Default for DramTiming {
+    /// DDR3-1600 11-11-11 (4 Gb devices) in bus cycles, scaled to CPU
+    /// cycles.
+    fn default() -> Self {
+        DramTiming {
+            t_rcd: 11 * CPU_PER_BUS_CYCLE,
+            t_rp: 11 * CPU_PER_BUS_CYCLE,
+            t_cas: 11 * CPU_PER_BUS_CYCLE,
+            t_burst: 4 * CPU_PER_BUS_CYCLE,
+            t_wr: 12 * CPU_PER_BUS_CYCLE,
+            t_rrd: 5 * CPU_PER_BUS_CYCLE,
+            t_faw: 24 * CPU_PER_BUS_CYCLE,
+            t_rfc: 208 * CPU_PER_BUS_CYCLE,
+            t_refi: 6240 * CPU_PER_BUS_CYCLE,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Latency of a row-hit access (CAS only).
+    #[must_use]
+    pub fn hit_latency(&self) -> u64 {
+        self.t_cas
+    }
+
+    /// Latency of a row-miss access (precharge + activate + CAS).
+    #[must_use]
+    pub fn miss_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cas
+    }
+}
+
+/// Geometry of the memory system (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Independent channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Cachelines per row (128 × 64 B = 8 KB row buffer).
+    pub lines_per_row: u64,
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        DramGeometry { channels: 2, ranks: 2, banks: 8, lines_per_row: 128 }
+    }
+}
+
+impl DramGeometry {
+    /// Total banks across the system.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks
+    }
+}
+
+/// Where an address landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Flat bank index within the channel (rank * banks + bank).
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// Per-rank activation bookkeeping for tRRD/tFAW and refresh accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct RankState {
+    /// Completion times of the last four activates (ring buffer).
+    recent_activates: [u64; 4],
+    /// Cursor into `recent_activates`.
+    cursor: usize,
+    /// Time of the most recent activate.
+    last_activate: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    ready: u64,
+}
+
+/// Aggregate DRAM activity counters (inputs to the energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Row activations (row misses).
+    pub activates: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Sum of read latencies (request arrival → data return), CPU cycles.
+    pub total_read_latency: u64,
+    /// Requests delayed by an in-progress refresh.
+    pub refresh_conflicts: u64,
+}
+
+impl DramStats {
+    /// Total bursts serviced.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Mean read latency in CPU cycles.
+    #[must_use]
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads as f64
+        }
+    }
+}
+
+/// The DDR3 memory system.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    timing: DramTiming,
+    geometry: DramGeometry,
+    /// Per-channel data-bus free time.
+    bus_free: Vec<u64>,
+    /// Per (channel, flat bank) state.
+    banks: Vec<BankState>,
+    /// Per (channel, rank) activation windows.
+    ranks: Vec<RankState>,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates a memory system with the given geometry and timing.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: DramTiming) -> Self {
+        DramModel {
+            timing,
+            geometry,
+            bus_free: vec![0; geometry.channels],
+            banks: vec![BankState::default(); geometry.total_banks()],
+            ranks: vec![RankState::default(); geometry.channels * geometry.ranks],
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Activity counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Clears activity counters (bank/bus state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Open-page address mapping: column bits low (so a row sweep stays in
+    /// one row buffer), then channel, rank, bank, row —
+    /// `row | bank | rank | channel | column | offset`.
+    #[must_use]
+    pub fn map(&self, addr: u64) -> MappedAddr {
+        let g = &self.geometry;
+        let mut line = addr / crate::system::CACHELINE_BYTES;
+        line /= g.lines_per_row; // drop column bits
+        let channel = (line % g.channels as u64) as usize;
+        line /= g.channels as u64;
+        let rank = (line % g.ranks as u64) as usize;
+        line /= g.ranks as u64;
+        let bank = (line % g.banks as u64) as usize;
+        let row = line / g.banks as u64;
+        MappedAddr { channel, rank, bank: rank * g.banks + bank, row }
+    }
+
+    /// If `at` falls inside a refresh window (one per tREFI, lasting tRFC),
+    /// returns the cycle the window ends; otherwise `at`.
+    fn after_refresh(&mut self, at: u64) -> u64 {
+        if self.timing.t_refi == 0 {
+            return at;
+        }
+        let phase = at % self.timing.t_refi;
+        if phase < self.timing.t_rfc {
+            self.stats.refresh_conflicts += 1;
+            at - phase + self.timing.t_rfc
+        } else {
+            at
+        }
+    }
+
+    /// Earliest cycle an activate may issue on `rank_idx` at or after
+    /// `at`, respecting tRRD and the four-activate window, and records it.
+    fn schedule_activate(&mut self, rank_idx: usize, at: u64) -> u64 {
+        let t = self.timing;
+        let rank = &mut self.ranks[rank_idx];
+        let oldest = rank.recent_activates[rank.cursor];
+        let start = at
+            .max(rank.last_activate + t.t_rrd)
+            .max(oldest + t.t_faw);
+        rank.recent_activates[rank.cursor] = start;
+        rank.cursor = (rank.cursor + 1) % 4;
+        rank.last_activate = start;
+        start
+    }
+
+    /// Services one 64-byte request arriving at CPU cycle `at`; returns the
+    /// cycle its data burst completes.
+    pub fn request(&mut self, at: u64, addr: u64, is_write: bool) -> u64 {
+        let mapped = self.map(addr);
+        let bank_idx = mapped.channel * self.geometry.ranks * self.geometry.banks + mapped.bank;
+        let rank_idx = mapped.channel * self.geometry.ranks + mapped.rank;
+
+        // Refresh blocks the whole rank for tRFC once per tREFI.
+        let bank_ready = self.banks[bank_idx].ready;
+        let arrival = self.after_refresh(at.max(bank_ready));
+
+        let hit = matches!(self.banks[bank_idx].open_row, Some(row) if row == mapped.row);
+        let (start, latency) = if hit {
+            (arrival, self.timing.hit_latency())
+        } else {
+            // Row conflict or closed row: precharge (if open) then an
+            // activate constrained by the rank's tRRD/tFAW window.
+            let precharge = if self.banks[bank_idx].open_row.is_some() {
+                self.timing.t_rp
+            } else {
+                0
+            };
+            let act_start = self.schedule_activate(rank_idx, arrival + precharge);
+            (act_start - precharge, precharge + self.timing.t_rcd + self.timing.t_cas)
+        };
+        let bank = &mut self.banks[bank_idx];
+        bank.open_row = Some(mapped.row);
+        let bus = &mut self.bus_free[mapped.channel];
+
+        // The data bus is only occupied during the burst itself, so bank
+        // latencies on different banks overlap (bank-level parallelism).
+        let data_start = (start + latency).max(*bus);
+        let completion = data_start + self.timing.t_burst;
+        *bus = completion;
+        bank.ready = if is_write {
+            completion + self.timing.t_wr
+        } else {
+            data_start
+        };
+
+        if hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.activates += 1;
+        }
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+            self.stats.total_read_latency += completion - at;
+        }
+        completion
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::new(DramGeometry::default(), DramTiming::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> DramModel {
+        DramModel::default()
+    }
+
+    #[test]
+    fn sequential_lines_hit_the_row_buffer() {
+        let mut d = dram();
+        let first = d.request(0, 0, false);
+        assert!(first >= DramTiming::default().t_rcd);
+        // Next line in the same row: hit (shorter bank latency).
+        let _ = d.request(first, 64, false);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().activates, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut d = dram();
+        let g = DramGeometry::default();
+        let t = DramTiming::default();
+        // Two addresses in the same bank, different rows: stride one full
+        // row * channels * ranks * banks.
+        let stride = 64 * g.lines_per_row * (g.channels * g.ranks * g.banks) as u64;
+        let c1 = d.request(0, 0, false);
+        let c2 = d.request(c1, stride, false);
+        assert!(c2 - c1 >= t.miss_latency(), "conflict latency {}", c2 - c1);
+        assert_eq!(d.stats().activates, 2);
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut d = dram();
+        let g = DramGeometry::default();
+        // Lines in different channels: row-sized stride flips the channel bit.
+        let ch_stride = 64 * g.lines_per_row;
+        assert_ne!(d.map(0).channel, d.map(ch_stride).channel);
+        let c1 = d.request(0, 0, false);
+        let c2 = d.request(0, ch_stride, false);
+        // Both issued at 0: they finish within a burst of each other.
+        assert!(c2.abs_diff(c1) <= DramTiming::default().t_burst);
+    }
+
+    #[test]
+    fn same_channel_serializes_on_the_data_bus() {
+        let mut d = dram();
+        let t = DramTiming::default();
+        let g = DramGeometry::default();
+        // Same channel, different banks: bus is shared.
+        let bank_stride = 64 * g.lines_per_row * (g.channels * g.ranks) as u64;
+        let a = d.map(0);
+        let b = d.map(bank_stride);
+        assert_eq!(a.channel, b.channel);
+        assert_ne!(a.bank, b.bank);
+        let c1 = d.request(0, 0, false);
+        let c2 = d.request(0, bank_stride, false);
+        assert!(c2 >= c1 + t.t_burst, "bursts must not overlap on one bus");
+    }
+
+    #[test]
+    fn bandwidth_saturates_under_load() {
+        // Hammer one channel: completions spread out by at least t_burst.
+        let mut d = dram();
+        let t = DramTiming::default();
+        let mut last = 0;
+        for i in 0..100u64 {
+            let done = d.request(0, i * 64, false);
+            assert!(done >= last, "monotone completions");
+            last = done;
+        }
+        // 100 bursts on one row: total time at least 100 * burst.
+        assert!(last >= 100 * t.t_burst);
+    }
+
+    #[test]
+    fn writes_add_recovery_time() {
+        let mut d = dram();
+        let t = DramTiming::default();
+        let w = d.request(0, 0, true);
+        let r = d.request(w, 64, false);
+        // The read waits for write recovery on the bank.
+        assert!(r >= w + t.t_wr, "read at {r}, write done {w}");
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut d = dram();
+        let done = d.request(100, 0, false);
+        assert_eq!(d.stats().total_read_latency, done - 100);
+        assert!(d.stats().mean_read_latency() > 0.0);
+    }
+
+    #[test]
+    fn map_covers_all_banks() {
+        let d = dram();
+        let g = DramGeometry::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..g.total_banks() as u64 {
+            let m = d.map(i * 64 * g.lines_per_row);
+            seen.insert((m.channel, m.bank));
+        }
+        assert_eq!(seen.len(), g.total_banks());
+    }
+
+    #[test]
+    fn reset_stats_preserves_bank_state() {
+        let mut d = dram();
+        d.request(0, 0, false);
+        d.reset_stats();
+        assert_eq!(d.stats().accesses(), 0);
+        // Still a row hit: the row stayed open across the reset.
+        d.request(1000, 64, false);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn refresh_windows_delay_requests() {
+        let t = DramTiming::default();
+        let mut d = dram();
+        // A request arriving inside the first refresh window is pushed out.
+        let inside = t.t_rfc / 2;
+        let done = d.request(inside, 0, false);
+        assert!(done >= t.t_rfc, "request must wait out the refresh");
+        assert_eq!(d.stats().refresh_conflicts, 1);
+        // A request between windows is unaffected.
+        let calm = t.t_rfc + 100;
+        let mut d2 = dram();
+        let done2 = d2.request(calm, 64 * 128 * 32, false);
+        assert!(done2 < calm + t.miss_latency() + t.t_burst + 1);
+        assert_eq!(d2.stats().refresh_conflicts, 0);
+    }
+
+    #[test]
+    fn refresh_can_be_disabled() {
+        let t = DramTiming { t_refi: 0, ..DramTiming::default() };
+        let mut d = DramModel::new(DramGeometry::default(), t);
+        let done = d.request(10, 0, false);
+        assert!(done < t.t_rfc, "no refresh stall when disabled");
+        assert_eq!(d.stats().refresh_conflicts, 0);
+    }
+
+    #[test]
+    fn four_activate_window_throttles_activation_storms() {
+        let t = DramTiming { t_refi: 0, ..DramTiming::default() }; // isolate tFAW
+        let mut d = DramModel::new(DramGeometry::default(), t);
+        let g = DramGeometry::default();
+        // Five row conflicts on five different banks of the SAME rank,
+        // all arriving at cycle 0: the fifth activate must wait for tFAW.
+        let bank_stride = 64 * g.lines_per_row * (g.channels * g.ranks) as u64;
+        let mut completions = Vec::new();
+        for i in 0..5u64 {
+            let addr = i * bank_stride;
+            let mapped = d.map(addr);
+            assert_eq!(mapped.rank, 0);
+            assert_eq!(mapped.channel, 0);
+            completions.push(d.request(0, addr, false));
+        }
+        // All five are closed-row activates; the fifth cannot start its
+        // activate before tFAW after the first.
+        let first_act = completions[0] - t.t_burst - t.t_cas - t.t_rcd;
+        let fifth_act = completions[4] - t.t_burst - t.t_cas - t.t_rcd;
+        assert!(
+            fifth_act >= first_act + t.t_faw,
+            "fifth activate at {fifth_act}, first at {first_act}"
+        );
+        // And consecutive activates respect tRRD.
+        for pair in completions.windows(2) {
+            assert!(pair[1] >= pair[0].saturating_sub(t.t_burst) , "monotone-ish");
+        }
+    }
+
+    #[test]
+    fn row_hit_rate_math() {
+        let mut d = dram();
+        for i in 0..10 {
+            d.request(0, i * 64, false);
+        }
+        assert_eq!(d.stats().row_hits, 9);
+        assert!((d.stats().row_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

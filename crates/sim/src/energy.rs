@@ -1,0 +1,160 @@
+//! System power and energy model (Fig 18).
+//!
+//! The paper uses USIMM's Micron-style DRAM power model with 4 Gb x8 DDR3
+//! parameters. We model the same three components, which is all Fig 18's
+//! relative results require:
+//!
+//! - **static/background power** (cores idle + uncore + DRAM background):
+//!   proportional to execution time;
+//! - **core dynamic energy**: proportional to instructions executed (this
+//!   is why a faster run has *higher* average power — the same work in
+//!   less time, the paper's §VII-G observation);
+//! - **DRAM activity energy**: per activate / read / write burst, from
+//!   datasheet-scale constants.
+
+use crate::dram::DramStats;
+
+/// CPU clock in Hz (Table I: 3.2 GHz).
+pub const CPU_HZ: f64 = 3.2e9;
+
+/// Energy-model constants. Tuned to datasheet magnitudes; only the ratios
+/// matter for Fig 18's normalized results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Static + background power in watts (4 cores + uncore + DRAM
+    /// background).
+    pub static_power_w: f64,
+    /// Core dynamic energy per instruction, joules.
+    pub energy_per_instruction_j: f64,
+    /// Energy per DRAM row activation (activate + precharge), joules.
+    pub energy_per_activate_j: f64,
+    /// Energy per read burst, joules.
+    pub energy_per_read_j: f64,
+    /// Energy per write burst, joules.
+    pub energy_per_write_j: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            static_power_w: 12.0,
+            energy_per_instruction_j: 0.8e-9,
+            energy_per_activate_j: 18.0e-9,
+            energy_per_read_j: 12.0e-9,
+            energy_per_write_j: 13.0e-9,
+        }
+    }
+}
+
+/// Energy/power breakdown of one simulation (the four bars of Fig 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// DRAM activity energy in joules.
+    pub dram_energy_j: f64,
+    /// Core dynamic energy in joules.
+    pub core_energy_j: f64,
+    /// Static/background energy in joules.
+    pub static_energy_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy in joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.dram_energy_j + self.core_energy_j + self.static_energy_j
+    }
+
+    /// Average system power in watts.
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        self.energy_j() / self.time_s
+    }
+
+    /// Energy-delay product (J·s).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.time_s
+    }
+}
+
+impl EnergyModel {
+    /// Evaluates the model for a run of `cycles` CPU cycles retiring
+    /// `instructions` with the given DRAM activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn evaluate(&self, cycles: u64, instructions: u64, dram: &DramStats) -> EnergyBreakdown {
+        assert!(cycles > 0, "zero-length run");
+        let time_s = cycles as f64 / CPU_HZ;
+        let dram_energy_j = dram.activates as f64 * self.energy_per_activate_j
+            + dram.reads as f64 * self.energy_per_read_j
+            + dram.writes as f64 * self.energy_per_write_j;
+        EnergyBreakdown {
+            time_s,
+            dram_energy_j,
+            core_energy_j: instructions as f64 * self.energy_per_instruction_j,
+            static_energy_j: self.static_power_w * time_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(reads: u64, writes: u64, activates: u64) -> DramStats {
+        DramStats { reads, writes, activates, ..DramStats::default() }
+    }
+
+    #[test]
+    fn energy_components_add_up() {
+        let m = EnergyModel::default();
+        let e = m.evaluate(3_200_000, 1_000_000, &activity(1000, 500, 300));
+        assert!(e.energy_j() > 0.0);
+        assert!(
+            (e.energy_j() - (e.dram_energy_j + e.core_energy_j + e.static_energy_j)).abs()
+                < 1e-15
+        );
+        // 3.2M cycles at 3.2 GHz = 1 ms.
+        assert!((e.time_s - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_work_in_less_time_raises_power() {
+        // §VII-G: MorphCtr does the same work in a shorter time, so its
+        // average power is higher even though its energy is lower.
+        let m = EnergyModel::default();
+        let slow = m.evaluate(4_000_000, 1_000_000, &activity(10_000, 5_000, 5_000));
+        let fast = m.evaluate(3_600_000, 1_000_000, &activity(9_000, 4_500, 4_500));
+        assert!(fast.power_w() > slow.power_w(), "{} !> {}", fast.power_w(), slow.power_w());
+        assert!(fast.energy_j() < slow.energy_j());
+        assert!(fast.edp() < slow.edp());
+    }
+
+    #[test]
+    fn more_dram_traffic_costs_more_energy() {
+        let m = EnergyModel::default();
+        let light = m.evaluate(1_000_000, 100_000, &activity(1_000, 500, 200));
+        let heavy = m.evaluate(1_000_000, 100_000, &activity(10_000, 5_000, 2_000));
+        assert!(heavy.energy_j() > light.energy_j());
+        assert_eq!(heavy.core_energy_j, light.core_energy_j);
+        assert_eq!(heavy.static_energy_j, light.static_energy_j);
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let m = EnergyModel::default();
+        let e = m.evaluate(3_200_000, 1, &activity(0, 0, 0));
+        assert!((e.edp() - e.energy_j() * e.time_s).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn rejects_zero_cycles() {
+        let _ = EnergyModel::default().evaluate(0, 0, &DramStats::default());
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-system timing and power simulator for the morphtree
+//! reproduction — the USIMM-equivalent substrate of the paper's §VI.
+//!
+//! The simulator is trace-driven and models:
+//!
+//! - a DDR3-1600 memory system (2 channels × 2 ranks × 8 banks, open-page
+//!   policy, bank timing and data-bus occupancy) — [`dram`];
+//! - four out-of-order cores (4-wide, 192-entry ROB, 3.2 GHz) whose reads
+//!   block retirement until memory responds — [`cpu`];
+//! - the secure-memory metadata engine from `morphtree-core`, whose counter
+//!   fetches, write propagation and overflow traffic share the DRAM with
+//!   program data — [`system`];
+//! - a DRAM + core energy model for the Fig 18 power/energy/EDP results —
+//!   [`energy`];
+//! - a discrete-event FR-FCFS memory controller with write-drain
+//!   watermarks, USIMM's actual scheduling model — [`controller`];
+//! - a last-level-cache filter turning raw access traces into the post-LLC
+//!   streams the simulator consumes — [`llc`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use morphtree_core::tree::TreeConfig;
+//! use morphtree_sim::system::{simulate, SimConfig};
+//! use morphtree_trace::catalog::Benchmark;
+//! use morphtree_trace::workload::SystemWorkload;
+//!
+//! let cfg = SimConfig::default();
+//! let bench = Benchmark::by_name("mcf").unwrap();
+//! let mut workload = SystemWorkload::rate(bench, cfg.cores, cfg.memory_bytes, 1);
+//! let result = simulate(&mut workload, TreeConfig::morphtree(), &cfg);
+//! println!("IPC = {:.3}", result.ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod cpu;
+pub mod dram;
+pub mod energy;
+pub mod llc;
+pub mod system;
+
+pub use system::{simulate, SimConfig, SimResult};

@@ -1,0 +1,283 @@
+//! The Table II benchmark catalog.
+//!
+//! Read/write memory intensities (accesses per kilo-instruction, per core)
+//! and four-core footprints are copied from Table II of the paper. The
+//! access-pattern class per benchmark is our modeling choice, guided by the
+//! paper's own characterization (§III-A, §VII-A: mcf/omnetpp/xalancbmk are
+//! "random data accesses", libquantum/gcc/lbm are "streaming",
+//! GemsFDTD is "neither sparse nor uniform", GAP workloads perform "random
+//! accesses across large working sets").
+
+use crate::pattern::PatternKind;
+
+/// Which suite a benchmark comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006.
+    Spec2006,
+    /// The GAP graph-analytics benchmark suite.
+    Gap,
+}
+
+/// One benchmark of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Memory reads per kilo-instruction per core (Table II).
+    pub read_pki: f64,
+    /// Memory writes per kilo-instruction per core (Table II).
+    pub write_pki: f64,
+    /// Four-core memory footprint in gigabytes (Table II).
+    pub footprint_gb: f64,
+    /// Spatial access-pattern class (our modeling choice).
+    pub pattern: PatternKind,
+    /// Fraction of the footprint that ever receives writes (our modeling
+    /// choice). Irregular applications write small, scattered subsets of
+    /// what they read — the source of the sparse counter usage the paper's
+    /// Fig 7 measures; streaming applications write their whole footprint.
+    pub write_set_fraction: f64,
+    /// Probability that a write advances a cyclic sweep over the write
+    /// working set rather than jumping randomly within it (our modeling
+    /// choice). Real applications update logs, queues and arrays with
+    /// strong cyclic recurrence; values near 0 model the temporally
+    /// unstructured updates that defeat rebasing (the paper's GemsFDTD
+    /// pathology, §IV-3).
+    pub write_sweep_fraction: f64,
+    /// Probability that a write lands on one of a small set of *hot* lines
+    /// (≈ 0.1% of the write set, scattered across the footprint). Hot
+    /// write lines are what drive encryption-counter overflows in
+    /// irregular applications — the regime where ZCC's wide counters beat
+    /// SC-64's fixed 6-bit minors (Fig 10/11).
+    pub write_hot_fraction: f64,
+}
+
+impl Benchmark {
+    /// Footprint per core in bytes (Table II footprints are for 4 cores in
+    /// rate mode).
+    #[must_use]
+    pub fn footprint_per_core_bytes(&self) -> u64 {
+        (self.footprint_gb / 4.0 * (1u64 << 30) as f64) as u64
+    }
+
+    /// Total memory accesses per kilo-instruction.
+    #[must_use]
+    pub fn total_pki(&self) -> f64 {
+        self.read_pki + self.write_pki
+    }
+
+    /// Fraction of memory accesses that are writes.
+    #[must_use]
+    pub fn write_fraction(&self) -> f64 {
+        self.write_pki / self.total_pki()
+    }
+
+    /// Looks a benchmark up by its Table II name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+        ALL.iter().find(|b| b.name == name)
+    }
+
+    /// All 22 benchmarks in Table II order.
+    #[must_use]
+    pub fn all() -> &'static [Benchmark] {
+        &ALL
+    }
+
+    /// The 16 SPEC2006 benchmarks.
+    #[must_use]
+    pub fn spec() -> &'static [Benchmark] {
+        &ALL[..16]
+    }
+
+    /// The 6 GAP benchmarks.
+    #[must_use]
+    pub fn gap() -> &'static [Benchmark] {
+        &ALL[16..]
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn spec(
+    name: &'static str,
+    read_pki: f64,
+    write_pki: f64,
+    footprint_gb: f64,
+    pattern: PatternKind,
+    write_set_fraction: f64,
+    write_sweep_fraction: f64,
+    write_hot_fraction: f64,
+) -> Benchmark {
+    Benchmark {
+        name,
+        suite: Suite::Spec2006,
+        read_pki,
+        write_pki,
+        footprint_gb,
+        pattern,
+        write_set_fraction,
+        write_sweep_fraction,
+        write_hot_fraction,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn gap(
+    name: &'static str,
+    read_pki: f64,
+    write_pki: f64,
+    footprint_gb: f64,
+    pattern: PatternKind,
+    write_set_fraction: f64,
+    write_sweep_fraction: f64,
+    write_hot_fraction: f64,
+) -> Benchmark {
+    Benchmark {
+        name,
+        suite: Suite::Gap,
+        read_pki,
+        write_pki,
+        footprint_gb,
+        pattern,
+        write_set_fraction,
+        write_sweep_fraction,
+        write_hot_fraction,
+    }
+}
+
+/// Table II, with per-benchmark pattern classes.
+static ALL: [Benchmark; 22] = [
+    spec("mcf", 69.0, 2.0, 7.5, PatternKind::UniformRandom, 0.15, 0.45, 0.45),
+    spec("omnetpp", 18.0, 9.0, 0.6, PatternKind::UniformRandom, 0.20, 0.40, 0.45),
+    spec("xalancbmk", 4.0, 3.0, 1.1, PatternKind::HotSet { hot_fraction: 0.10, hot_probability: 0.85 }, 0.15, 0.35, 0.50),
+    spec("GemsFDTD", 19.0, 8.0, 3.1, PatternKind::Mixed { streaming_fraction: 0.5 }, 0.50, 0.10, 0.05),
+    spec("milc", 19.0, 7.0, 2.3, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("soplex", 28.0, 6.0, 1.0, PatternKind::Mixed { streaming_fraction: 0.6 }, 0.35, 0.45, 0.25),
+    spec("bzip2", 5.0, 1.4, 1.2, PatternKind::Mixed { streaming_fraction: 0.7 }, 0.40, 0.50, 0.25),
+    spec("zeusmp", 5.0, 1.9, 1.9, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("sphinx", 14.0, 1.4, 0.1, PatternKind::HotSet { hot_fraction: 0.20, hot_probability: 0.80 }, 0.20, 0.40, 0.40),
+    spec("leslie3d", 16.0, 5.0, 0.3, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("libquantum", 24.0, 10.0, 0.1, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("gcc", 48.0, 53.0, 0.7, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("lbm", 28.0, 21.0, 1.6, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("wrf", 4.0, 2.0, 1.6, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("cactusADM", 5.0, 1.5, 1.6, PatternKind::Streaming, 1.0, 1.0, 0.00),
+    spec("dealII", 1.7, 0.5, 0.2, PatternKind::HotSet { hot_fraction: 0.10, hot_probability: 0.80 }, 0.20, 0.40, 0.40),
+    gap("bc-twit", 61.0, 24.0, 9.3, PatternKind::PowerLaw { skew: 2.5 }, 0.20, 0.40, 0.45),
+    gap("pr-twit", 94.0, 4.0, 11.2, PatternKind::PowerLaw { skew: 2.5 }, 0.20, 0.45, 0.45),
+    gap("cc-twit", 89.0, 7.0, 7.0, PatternKind::PowerLaw { skew: 2.5 }, 0.20, 0.40, 0.45),
+    gap("bc-web", 13.0, 7.0, 12.0, PatternKind::PowerLaw { skew: 2.0 }, 0.15, 0.50, 0.30),
+    gap("pr-web", 16.0, 3.0, 12.2, PatternKind::PowerLaw { skew: 2.0 }, 0.15, 0.55, 0.30),
+    gap("cc-web", 9.0, 1.5, 7.8, PatternKind::PowerLaw { skew: 2.0 }, 0.15, 0.55, 0.30),
+];
+
+/// A four-core mixed workload (§VI: "6 mixed workloads obtained with a
+/// random combination of benchmarks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix name (mix1..mix6).
+    pub name: &'static str,
+    /// The benchmark each of the four cores runs.
+    pub members: [&'static str; 4],
+}
+
+/// The six mixes evaluated in Fig 15/16 (the paper does not list its random
+/// combinations; these are a fixed, seed-stable choice spanning the
+/// pattern classes).
+pub static MIXES: [Mix; 6] = [
+    Mix { name: "mix1", members: ["mcf", "libquantum", "omnetpp", "gcc"] },
+    Mix { name: "mix2", members: ["xalancbmk", "lbm", "soplex", "milc"] },
+    Mix { name: "mix3", members: ["GemsFDTD", "sphinx", "bzip2", "leslie3d"] },
+    Mix { name: "mix4", members: ["mcf", "gcc", "zeusmp", "dealII"] },
+    Mix { name: "mix5", members: ["omnetpp", "cactusADM", "wrf", "libquantum"] },
+    Mix { name: "mix6", members: ["soplex", "lbm", "xalancbmk", "bc-twit"] },
+];
+
+impl Mix {
+    /// Resolves the member benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member name is not in the catalog (impossible for the
+    /// built-in mixes).
+    #[must_use]
+    pub fn benchmarks(&self) -> [&'static Benchmark; 4] {
+        self.members
+            .map(|name| Benchmark::by_name(name).expect("mix member in catalog"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_22_benchmarks() {
+        assert_eq!(Benchmark::all().len(), 22);
+        assert_eq!(Benchmark::spec().len(), 16);
+        assert_eq!(Benchmark::gap().len(), 6);
+        assert!(Benchmark::spec().iter().all(|b| b.suite == Suite::Spec2006));
+        assert!(Benchmark::gap().iter().all(|b| b.suite == Suite::Gap));
+    }
+
+    #[test]
+    fn table2_spot_checks() {
+        let mcf = Benchmark::by_name("mcf").unwrap();
+        assert_eq!(mcf.read_pki, 69.0);
+        assert_eq!(mcf.write_pki, 2.0);
+        assert_eq!(mcf.footprint_gb, 7.5);
+
+        let gcc = Benchmark::by_name("gcc").unwrap();
+        assert_eq!(gcc.write_pki, 53.0);
+        assert!(gcc.write_fraction() > 0.5, "gcc is write-heavy");
+
+        let prweb = Benchmark::by_name("pr-web").unwrap();
+        assert_eq!(prweb.footprint_gb, 12.2);
+    }
+
+    #[test]
+    fn per_core_footprint_divides_by_four() {
+        let libq = Benchmark::by_name("libquantum").unwrap();
+        let per_core = libq.footprint_per_core_bytes();
+        assert_eq!(per_core, (0.1 / 4.0 * (1u64 << 30) as f64) as u64);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(Benchmark::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn write_set_fractions_are_valid() {
+        for b in Benchmark::all() {
+            assert!(
+                b.write_set_fraction > 0.0 && b.write_set_fraction <= 1.0,
+                "{}",
+                b.name
+            );
+        }
+        // Streaming benchmarks write everything; irregular ones a subset.
+        assert_eq!(Benchmark::by_name("lbm").unwrap().write_set_fraction, 1.0);
+        assert!(Benchmark::by_name("mcf").unwrap().write_set_fraction < 0.25);
+    }
+
+    #[test]
+    fn all_memory_intensive() {
+        // §VI: focus on workloads with > 1 access per 1000 instructions.
+        for b in Benchmark::all() {
+            assert!(b.total_pki() > 1.0, "{}", b.name);
+            assert!(b.write_pki > 0.0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn mixes_resolve() {
+        assert_eq!(MIXES.len(), 6);
+        for mix in &MIXES {
+            let members = mix.benchmarks();
+            assert_eq!(members.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic workload substrate for the morphtree reproduction.
+//!
+//! The paper evaluates 22 memory-intensive workloads from SPEC2006 and GAP
+//! plus 6 mixes (Table II), replayed through USIMM as post-LLC memory-access
+//! traces. We reproduce that substrate synthetically: each benchmark is
+//! described by its measured read/write memory intensity (accesses per kilo
+//! instruction), its footprint, and an access-pattern class — the three
+//! statistics the paper's own analysis (§III-A) attributes counter-overflow
+//! behaviour to.
+//!
+//! - [`catalog`] — the Table II benchmark catalog with per-benchmark
+//!   pattern classes and the 6 mixes.
+//! - [`pattern`] — access-pattern generators (streaming, uniform-random,
+//!   hot-set, power-law graph, mixed).
+//! - [`page`] — the OS page allocator with the *random* allocation policy
+//!   of Table I, which is what interleaves hot and cold pages in physical
+//!   memory and produces the sparse tree-counter usage of Fig 7.
+//! - [`workload`] — per-core trace generation (rate mode and mixes).
+//!
+//! # Example
+//!
+//! ```
+//! use morphtree_trace::catalog::Benchmark;
+//! use morphtree_trace::workload::SystemWorkload;
+//!
+//! let mcf = Benchmark::by_name("mcf").unwrap();
+//! let mut workload = SystemWorkload::rate(mcf, 4, 16 << 30, 42);
+//! let record = workload.next_record(0);
+//! assert!(record.line < (16u64 << 30) / 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod io;
+pub mod page;
+pub mod pattern;
+pub mod workload;
+
+pub use catalog::{Benchmark, Mix, Suite};
+pub use io::RecordedTrace;
+pub use workload::{RecordSource, SystemWorkload, TraceRecord};
+
+/// Cacheline size in bytes (the memory-access granularity).
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// Page size in bytes (Table I systems use 4 KB pages).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Cachelines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / CACHELINE_BYTES;

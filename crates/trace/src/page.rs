@@ -1,0 +1,188 @@
+//! The OS page allocator with Table I's *random* allocation policy.
+//!
+//! Random virtual→physical page placement is load-bearing for the paper's
+//! analysis: it intersperses hot and cold pages in physical memory, so an
+//! integrity-tree counter line (which covers a contiguous *physical* span)
+//! sees only a few hot counters — the sparse usage that Zero Counter
+//! Compression exploits (§III-A, Fig 7).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{LINES_PER_PAGE, PAGE_BYTES};
+
+/// Allocates physical page frames uniformly at random over the whole
+/// memory, shared by all cores of a workload.
+#[derive(Debug)]
+pub struct PhysicalAllocator {
+    total_pages: u64,
+    used: HashSet<u64>,
+    rng: SmallRng,
+}
+
+impl PhysicalAllocator {
+    /// Creates an allocator over `memory_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_bytes` is smaller than one page.
+    #[must_use]
+    pub fn new(memory_bytes: u64, seed: u64) -> Self {
+        let total_pages = memory_bytes / PAGE_BYTES;
+        assert!(total_pages > 0, "memory smaller than a page");
+        PhysicalAllocator {
+            total_pages,
+            used: HashSet::new(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x0070_a6e5_u64),
+        }
+    }
+
+    /// Number of allocatable pages.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages allocated so far.
+    #[must_use]
+    pub fn allocated_pages(&self) -> u64 {
+        self.used.len() as u64
+    }
+
+    /// Allocates a random free physical page frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn alloc(&mut self) -> u64 {
+        assert!(
+            (self.used.len() as u64) < self.total_pages,
+            "physical memory exhausted"
+        );
+        loop {
+            let candidate = self.rng.gen_range(0..self.total_pages);
+            if self.used.insert(candidate) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// A per-process (per-core) page table mapping virtual pages to physical
+/// frames, populated lazily on first touch.
+#[derive(Debug, Default)]
+pub struct PageMap {
+    table: HashMap<u64, u64>,
+}
+
+impl PageMap {
+    /// Creates an empty page table.
+    #[must_use]
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Number of mapped pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Translates a virtual line index to a physical line index, allocating
+    /// a frame on first touch.
+    pub fn translate(&mut self, vline: u64, allocator: &mut PhysicalAllocator) -> u64 {
+        let vpage = vline / LINES_PER_PAGE;
+        let offset = vline % LINES_PER_PAGE;
+        let ppage = *self
+            .table
+            .entry(vpage)
+            .or_insert_with(|| allocator.alloc());
+        ppage * LINES_PER_PAGE + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_unique() {
+        let mut alloc = PhysicalAllocator::new(1 << 20, 1); // 256 pages
+        let mut seen = HashSet::new();
+        for _ in 0..256 {
+            assert!(seen.insert(alloc.alloc()), "duplicate frame");
+        }
+        assert_eq!(alloc.allocated_pages(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut alloc = PhysicalAllocator::new(PAGE_BYTES, 1);
+        alloc.alloc();
+        alloc.alloc();
+    }
+
+    #[test]
+    fn translation_is_stable_and_page_aligned() {
+        let mut alloc = PhysicalAllocator::new(1 << 24, 7);
+        let mut map = PageMap::new();
+        let a = map.translate(0, &mut alloc);
+        let b = map.translate(1, &mut alloc);
+        // Same page: consecutive physical lines.
+        assert_eq!(b, a + 1);
+        // Repeat translation is stable.
+        assert_eq!(map.translate(0, &mut alloc), a);
+        assert_eq!(map.mapped_pages(), 1);
+        // A different virtual page gets its own frame.
+        let c = map.translate(LINES_PER_PAGE, &mut alloc);
+        assert_ne!(c / LINES_PER_PAGE, a / LINES_PER_PAGE);
+        assert_eq!(map.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn random_policy_scatters_contiguous_virtual_pages() {
+        // The essence of Table I's "Random" policy: virtually-adjacent pages
+        // land far apart physically (with overwhelming probability).
+        let mut alloc = PhysicalAllocator::new(16 << 30, 3);
+        let mut map = PageMap::new();
+        let mut adjacent_pairs = 0;
+        let mut prev = map.translate(0, &mut alloc) / LINES_PER_PAGE;
+        for vpage in 1..512u64 {
+            let ppage = map.translate(vpage * LINES_PER_PAGE, &mut alloc) / LINES_PER_PAGE;
+            if ppage == prev + 1 {
+                adjacent_pairs += 1;
+            }
+            prev = ppage;
+        }
+        assert!(adjacent_pairs < 4, "suspiciously sequential: {adjacent_pairs}");
+    }
+
+    #[test]
+    fn separate_cores_never_share_frames() {
+        let mut alloc = PhysicalAllocator::new(1 << 24, 9);
+        let mut core0 = PageMap::new();
+        let mut core1 = PageMap::new();
+        let mut frames = HashSet::new();
+        for vpage in 0..64 {
+            frames.insert(core0.translate(vpage * LINES_PER_PAGE, &mut alloc) / LINES_PER_PAGE);
+            frames.insert(core1.translate(vpage * LINES_PER_PAGE, &mut alloc) / LINES_PER_PAGE);
+        }
+        assert_eq!(frames.len(), 128);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let run = |seed| {
+            let mut alloc = PhysicalAllocator::new(1 << 24, seed);
+            let mut map = PageMap::new();
+            (0..32)
+                .map(|v| map.translate(v * LINES_PER_PAGE, &mut alloc))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,205 @@
+//! Access-pattern generators.
+//!
+//! The paper's overflow analysis (§III-A) distinguishes workloads by their
+//! *spatial* write behaviour: streaming applications write uniformly to all
+//! cachelines of write-heavy pages (dense counter usage), while irregular
+//! applications scatter writes over hot subsets of a large footprint
+//! (sparse counter usage). These generators produce virtual line indices
+//! with exactly those statistics.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The spatial access-pattern classes used to model Table II's benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternKind {
+    /// Sequential sweep over the footprint (libquantum, lbm, milc, …):
+    /// maximal spatial locality, dense counter usage.
+    Streaming,
+    /// Uniform random lines over the footprint (mcf, omnetpp, …): minimal
+    /// reuse, sparse per-page writes.
+    UniformRandom,
+    /// A hot subset receives most accesses (xalancbmk, dealII, …).
+    HotSet {
+        /// Fraction of the footprint that is hot.
+        hot_fraction: f64,
+        /// Probability an access falls in the hot set.
+        hot_probability: f64,
+    },
+    /// Power-law popularity over the footprint — graph analytics on
+    /// scale-free networks (the GAP Twitter/Web workloads).
+    PowerLaw {
+        /// Skew exponent: larger = more concentrated on low indices.
+        skew: f64,
+    },
+    /// A blend of a streaming sweep and uniform-random accesses
+    /// (GemsFDTD, soplex, …: "neither sparse nor uniform", §IV-3).
+    Mixed {
+        /// Fraction of accesses that stream.
+        streaming_fraction: f64,
+    },
+}
+
+/// Stateful generator of virtual line indices for one core.
+#[derive(Debug, Clone)]
+pub struct PatternState {
+    kind: PatternKind,
+    footprint_lines: u64,
+    cursor: u64,
+}
+
+impl PatternState {
+    /// Creates a generator over a footprint of `footprint_lines` virtual
+    /// cachelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_lines` is zero.
+    #[must_use]
+    pub fn new(kind: PatternKind, footprint_lines: u64) -> Self {
+        assert!(footprint_lines > 0, "footprint must be non-empty");
+        PatternState { kind, footprint_lines, cursor: 0 }
+    }
+
+    /// The footprint in lines.
+    #[must_use]
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_lines
+    }
+
+    /// Produces the next virtual line index.
+    pub fn next_line(&mut self, rng: &mut SmallRng) -> u64 {
+        let n = self.footprint_lines;
+        match self.kind {
+            PatternKind::Streaming => {
+                let line = self.cursor;
+                self.cursor = (self.cursor + 1) % n;
+                line
+            }
+            PatternKind::UniformRandom => rng.gen_range(0..n),
+            PatternKind::HotSet { hot_fraction, hot_probability } => {
+                let hot_lines = ((n as f64 * hot_fraction) as u64).max(1);
+                if rng.gen_bool(hot_probability) {
+                    // The hot set is *scattered* across the virtual space
+                    // (every k-th page), mirroring hot structures
+                    // interleaved with cold ones.
+                    let stride = (n / hot_lines).max(1);
+                    rng.gen_range(0..hot_lines) * stride % n
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+            PatternKind::PowerLaw { skew } => {
+                // Inverse-CDF sampling of a bounded Pareto-like popularity:
+                // index = n * u^skew concentrates mass near index 0 for
+                // skew > 1. Indices are then bit-mixed so popular lines
+                // scatter over the virtual footprint like graph vertices.
+                let u: f64 = rng.gen();
+                let rank = ((n as f64) * u.powf(skew)) as u64 % n;
+                // Deterministic permutation (splitmix-style) of ranks.
+                let mixed = rank
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left(31)
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                mixed % n
+            }
+            PatternKind::Mixed { streaming_fraction } => {
+                if rng.gen_bool(streaming_fraction) {
+                    let line = self.cursor;
+                    self.cursor = (self.cursor + 1) % n;
+                    line
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(77)
+    }
+
+    fn sample(kind: PatternKind, footprint: u64, count: usize) -> Vec<u64> {
+        let mut state = PatternState::new(kind, footprint);
+        let mut r = rng();
+        (0..count).map(|_| state.next_line(&mut r)).collect()
+    }
+
+    #[test]
+    fn streaming_is_sequential_and_wraps() {
+        let lines = sample(PatternKind::Streaming, 4, 6);
+        assert_eq!(lines, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_random_covers_footprint() {
+        let lines = sample(PatternKind::UniformRandom, 64, 4096);
+        let distinct: std::collections::HashSet<_> = lines.iter().collect();
+        assert!(distinct.len() > 60, "only {} distinct", distinct.len());
+        assert!(lines.iter().all(|&l| l < 64));
+    }
+
+    #[test]
+    fn hot_set_concentrates_accesses() {
+        let kind = PatternKind::HotSet { hot_fraction: 0.1, hot_probability: 0.9 };
+        let lines = sample(kind, 1000, 10_000);
+        // Count accesses to the ~100 hot lines (stride-10 multiples).
+        let hot_hits = lines.iter().filter(|&&l| l % 10 == 0).count();
+        assert!(hot_hits > 8_000, "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let kind = PatternKind::PowerLaw { skew: 3.0 };
+        let lines = sample(kind, 1 << 20, 50_000);
+        let mut counts = std::collections::HashMap::new();
+        for l in lines {
+            *counts.entry(l).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        // A heavily skewed distribution has a very popular head.
+        assert!(max > 100, "max popularity {max}");
+        // ...but still touches many distinct lines.
+        assert!(counts.len() > 1_000, "distinct {}", counts.len());
+    }
+
+    #[test]
+    fn mixed_interleaves_streaming_and_random() {
+        let kind = PatternKind::Mixed { streaming_fraction: 0.5 };
+        let lines = sample(kind, 1 << 16, 10_000);
+        // Streaming component: low indices visited in order; cursor reaches
+        // roughly 5000.
+        let sequential_pairs = lines.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(sequential_pairs > 1_000, "{sequential_pairs} sequential pairs");
+        let far = lines.iter().filter(|&&l| l > 10_000).count();
+        assert!(far > 2_000, "{far} random accesses");
+    }
+
+    #[test]
+    fn all_patterns_respect_bounds() {
+        for kind in [
+            PatternKind::Streaming,
+            PatternKind::UniformRandom,
+            PatternKind::HotSet { hot_fraction: 0.05, hot_probability: 0.95 },
+            PatternKind::PowerLaw { skew: 2.0 },
+            PatternKind::Mixed { streaming_fraction: 0.7 },
+        ] {
+            for &footprint in &[1u64, 2, 63, 1 << 18] {
+                let lines = sample(kind, footprint, 500);
+                assert!(lines.iter().all(|&l| l < footprint), "{kind:?}/{footprint}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_footprint() {
+        let _ = PatternState::new(PatternKind::Streaming, 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Per-core trace generation: rate mode and mixed workloads.
+//!
+//! Each core produces a stream of [`TraceRecord`]s — the post-LLC memory
+//! accesses the paper replays through USIMM — with the benchmark's
+//! read/write intensity, footprint, and access-pattern class, translated
+//! to physical addresses through a per-core page table over a shared
+//! randomly-allocating physical memory (Table I).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{Benchmark, Mix};
+use crate::page::{PageMap, PhysicalAllocator};
+use crate::pattern::PatternState;
+use crate::CACHELINE_BYTES;
+
+/// Default footprint scale-down: we simulate millions rather than billions
+/// of instructions, so footprints are divided by this factor (documented in
+/// EXPERIMENTS.md; relative footprint ordering across benchmarks is
+/// preserved).
+pub const DEFAULT_FOOTPRINT_DIVISOR: u64 = 16;
+
+/// Smallest simulated per-core footprint (lines of a 4 MiB region) so that
+/// even tiny-footprint benchmarks exercise the counter hierarchy.
+pub const MIN_FOOTPRINT_BYTES: u64 = 4 << 20;
+
+/// Consecutive writes a core issues to one line before moving on (write
+/// runs from read-modify-write sequences and store buffers). Bursts let
+/// resident counter lines absorb several increments per cache residency,
+/// attenuating write propagation up the tree as larger caches do.
+pub const WRITE_BURST: u32 = 16;
+
+/// Anything that can feed per-core memory-access records to the simulator:
+/// live synthetic workloads ([`SystemWorkload`]) or recorded traces
+/// ([`crate::io::RecordedTrace`]).
+pub trait RecordSource {
+    /// Number of cores the source feeds.
+    fn num_cores(&self) -> usize;
+    /// Display name of the workload.
+    fn name(&self) -> &str;
+    /// Produces the next record for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `core` is out of range.
+    fn next_record(&mut self, core: usize) -> TraceRecord;
+}
+
+/// One memory access produced by a core, together with the number of
+/// non-memory instructions preceding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Non-memory instructions retired before this access.
+    pub gap: u32,
+    /// Physical data-line index.
+    pub line: u64,
+    /// Write (a dirty LLC eviction) or read (an LLC miss).
+    pub is_write: bool,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    bench: &'static Benchmark,
+    pattern: PatternState,
+    pages: PageMap,
+    rng: SmallRng,
+    mean_gap: f64,
+    write_fraction: f64,
+    /// Cyclic cursor over the write working set (see
+    /// [`Benchmark::write_sweep_fraction`]).
+    write_cursor: u64,
+    /// Cyclic cursor over the hot write lines (see
+    /// [`Benchmark::write_hot_fraction`]).
+    hot_cursor: u64,
+    /// Remaining writes in the current sweep burst.
+    sweep_burst: u32,
+    /// Remaining writes in the current hot burst.
+    hot_burst: u32,
+}
+
+impl CoreState {
+    fn new(bench: &'static Benchmark, footprint_lines: u64, seed: u64) -> Self {
+        let total_pki = bench.total_pki();
+        // Instructions per memory access, minus the access itself.
+        let mean_gap = (1000.0 / total_pki - 1.0).max(0.0);
+        CoreState {
+            bench,
+            pattern: PatternState::new(bench.pattern, footprint_lines),
+            pages: PageMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            mean_gap,
+            write_fraction: bench.write_fraction(),
+            write_cursor: 0,
+            hot_cursor: 0,
+            sweep_burst: 0,
+            hot_burst: 0,
+        }
+    }
+
+    fn next(&mut self, allocator: &mut PhysicalAllocator) -> TraceRecord {
+        // Exponentially-distributed instruction gaps give the bursty
+        // arrivals a Poisson-like miss stream has.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-self.mean_gap * u.ln()).round() as u32;
+        let mut vline = self.pattern.next_line(&mut self.rng);
+        let is_write = self.rng.gen_bool(self.write_fraction);
+        if is_write {
+            vline = self.next_write_line(vline);
+        }
+        let line = self.pages.translate(vline, allocator);
+        TraceRecord { gap, line, is_write }
+    }
+
+    /// Maps a write onto the benchmark's write working set: a
+    /// `write_set_fraction`-sized subset of the footprint, scattered across
+    /// it by a fixed permutation. Irregular applications write far fewer
+    /// distinct lines than they read (that is what makes their counter
+    /// usage sparse, §III-A), and most of their updates recur cyclically
+    /// over that set (logs, queues, repeatedly-traversed arrays) — the
+    /// recurrence structure rebasing exploits (§IV).
+    fn next_write_line(&mut self, vline: u64) -> u64 {
+        let fraction = self.bench.write_set_fraction;
+        if fraction >= 1.0 {
+            return vline;
+        }
+        let _ = vline;
+        let n = self.pattern.footprint_lines();
+        let write_lines = ((n as f64 * fraction) as u64).max(1);
+        let hot_lines = (write_lines >> 14).max(8).min(write_lines);
+        let r: f64 = self.rng.gen();
+        let idx = if r < self.bench.write_sweep_fraction {
+            // Cyclic sweep over the whole write working set, in bursts of
+            // WRITE_BURST repeated writes per line (read-modify-write runs).
+            if self.sweep_burst == 0 {
+                self.sweep_burst = WRITE_BURST;
+                self.write_cursor = (self.write_cursor + 1) % write_lines;
+            }
+            self.sweep_burst -= 1;
+            self.write_cursor
+        } else if r < self.bench.write_sweep_fraction + self.bench.write_hot_fraction {
+            // Hot write lines: a tiny slice of the write set absorbs a
+            // large share of the writes, visited cyclically in bursts.
+            if self.hot_burst == 0 {
+                self.hot_burst = WRITE_BURST;
+                self.hot_cursor = (self.hot_cursor + 1) % hot_lines;
+            }
+            self.hot_burst -= 1;
+            self.hot_cursor
+        } else {
+            // Temporally unstructured update anywhere in the write set.
+            self.rng.gen_range(0..write_lines)
+        };
+        // Fixed permutation scatters the write set across the footprint
+        // (and thus across pages and counter lines) while preserving the
+        // cyclic visit order.
+        idx.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(27)
+            .wrapping_mul(0x94d0_49bb_1331_11eb)
+            % n
+    }
+}
+
+/// A multi-core workload: N cores in rate mode (all running the same
+/// benchmark) or a 4-way mix, sharing one physical memory.
+#[derive(Debug)]
+pub struct SystemWorkload {
+    name: String,
+    allocator: PhysicalAllocator,
+    cores: Vec<CoreState>,
+}
+
+impl SystemWorkload {
+    /// Rate mode: `cores` copies of `bench` over `memory_bytes` of physical
+    /// memory (§VI: "each of the four cores running the same copy of the
+    /// benchmark").
+    #[must_use]
+    pub fn rate(bench: &'static Benchmark, cores: usize, memory_bytes: u64, seed: u64) -> Self {
+        Self::rate_scaled(bench, cores, memory_bytes, seed, DEFAULT_FOOTPRINT_DIVISOR)
+    }
+
+    /// Rate mode with an explicit footprint divisor (1 = the full Table II
+    /// footprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the scaled footprints exceed physical
+    /// memory.
+    #[must_use]
+    pub fn rate_scaled(
+        bench: &'static Benchmark,
+        cores: usize,
+        memory_bytes: u64,
+        seed: u64,
+        footprint_divisor: u64,
+    ) -> Self {
+        assert!(cores > 0, "at least one core");
+        let benches = vec![bench; cores];
+        Self::build(bench.name.to_owned(), &benches, memory_bytes, seed, footprint_divisor)
+    }
+
+    /// A 4-core mixed workload.
+    #[must_use]
+    pub fn mix(mix: &Mix, memory_bytes: u64, seed: u64) -> Self {
+        let benches = mix.benchmarks();
+        Self::build(
+            mix.name.to_owned(),
+            &benches,
+            memory_bytes,
+            seed,
+            DEFAULT_FOOTPRINT_DIVISOR,
+        )
+    }
+
+    fn build(
+        name: String,
+        benches: &[&'static Benchmark],
+        memory_bytes: u64,
+        seed: u64,
+        footprint_divisor: u64,
+    ) -> Self {
+        assert!(footprint_divisor >= 1, "divisor must be positive");
+        let mut total_footprint = 0u64;
+        let cores: Vec<CoreState> = benches
+            .iter()
+            .enumerate()
+            .map(|(i, bench)| {
+                let bytes = (bench.footprint_per_core_bytes() / footprint_divisor)
+                    .max(MIN_FOOTPRINT_BYTES);
+                total_footprint += bytes;
+                let lines = bytes / CACHELINE_BYTES;
+                CoreState::new(bench, lines, seed.wrapping_add(i as u64 * 0x9e37))
+            })
+            .collect();
+        assert!(
+            total_footprint <= memory_bytes,
+            "scaled footprints ({total_footprint} B) exceed physical memory"
+        );
+        SystemWorkload {
+            name,
+            allocator: PhysicalAllocator::new(memory_bytes, seed),
+            cores,
+        }
+    }
+
+    /// Workload display name (benchmark or mix name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The benchmark core `core` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn benchmark(&self, core: usize) -> &'static Benchmark {
+        self.cores[core].bench
+    }
+
+    /// Produces the next trace record for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn next_record(&mut self, core: usize) -> TraceRecord {
+        self.cores[core].next(&mut self.allocator)
+    }
+
+    /// Simulated per-core footprint in lines.
+    #[must_use]
+    pub fn footprint_lines(&self, core: usize) -> u64 {
+        self.cores[core].pattern.footprint_lines()
+    }
+}
+
+impl RecordSource for SystemWorkload {
+    fn num_cores(&self) -> usize {
+        SystemWorkload::num_cores(self)
+    }
+
+    fn name(&self) -> &str {
+        SystemWorkload::name(self)
+    }
+
+    fn next_record(&mut self, core: usize) -> TraceRecord {
+        SystemWorkload::next_record(self, core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MIXES;
+
+    const GIB: u64 = 1 << 30;
+
+    fn bench(name: &str) -> &'static Benchmark {
+        Benchmark::by_name(name).unwrap()
+    }
+
+    #[test]
+    fn rate_mode_runs_same_benchmark_on_all_cores() {
+        let w = SystemWorkload::rate(bench("mcf"), 4, 16 * GIB, 1);
+        assert_eq!(w.num_cores(), 4);
+        for core in 0..4 {
+            assert_eq!(w.benchmark(core).name, "mcf");
+        }
+    }
+
+    #[test]
+    fn mix_assigns_members_in_order() {
+        let w = SystemWorkload::mix(&MIXES[0], 16 * GIB, 1);
+        assert_eq!(w.name(), "mix1");
+        assert_eq!(w.benchmark(0).name, "mcf");
+        assert_eq!(w.benchmark(1).name, "libquantum");
+    }
+
+    #[test]
+    fn records_stay_in_physical_range() {
+        let mut w = SystemWorkload::rate(bench("pr-twit"), 4, 16 * GIB, 3);
+        for core in 0..4 {
+            for _ in 0..2_000 {
+                let r = w.next_record(core);
+                assert!(r.line < 16 * GIB / 64);
+            }
+        }
+    }
+
+    #[test]
+    fn write_fraction_tracks_table2() {
+        // gcc: 53 writes vs 48 reads per kilo-instruction.
+        let mut w = SystemWorkload::rate(bench("gcc"), 1, 16 * GIB, 5);
+        let writes = (0..20_000).filter(|_| w.next_record(0).is_write).count();
+        let fraction = writes as f64 / 20_000.0;
+        let expect = 53.0 / 101.0;
+        assert!((fraction - expect).abs() < 0.02, "fraction {fraction}");
+    }
+
+    #[test]
+    fn gaps_track_memory_intensity() {
+        // mcf: 71 accesses/kilo-instr -> mean gap ~ 13; dealII: 2.2/kilo ->
+        // mean gap ~ 453.
+        let mean_gap = |name: &str| {
+            let mut w = SystemWorkload::rate(bench(name), 1, 16 * GIB, 7);
+            let total: u64 = (0..10_000).map(|_| w.next_record(0).gap as u64).sum();
+            total as f64 / 10_000.0
+        };
+        let mcf = mean_gap("mcf");
+        let dealii = mean_gap("dealII");
+        assert!((10.0..18.0).contains(&mcf), "mcf mean gap {mcf}");
+        assert!((380.0..530.0).contains(&dealii), "dealII mean gap {dealii}");
+    }
+
+    #[test]
+    fn cores_use_disjoint_physical_pages() {
+        let mut w = SystemWorkload::rate(bench("libquantum"), 4, 16 * GIB, 11);
+        let mut per_core_pages: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); 4];
+        for (core, pages) in per_core_pages.iter_mut().enumerate() {
+            for _ in 0..5_000 {
+                let r = w.next_record(core);
+                pages.insert(r.line / 64);
+            }
+        }
+        for a in 0..4 {
+            for b in a + 1..4 {
+                assert!(
+                    per_core_pages[a].is_disjoint(&per_core_pages[b]),
+                    "cores {a} and {b} share pages"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let collect = |seed| {
+            let mut w = SystemWorkload::rate(bench("milc"), 2, 16 * GIB, seed);
+            (0..100).map(|i| w.next_record(i % 2)).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn footprint_scaling_applies_floor() {
+        let w = SystemWorkload::rate(bench("libquantum"), 4, 16 * GIB, 1);
+        // 0.1 GB / 4 cores / 16 < 4 MiB floor.
+        assert_eq!(w.footprint_lines(0), MIN_FOOTPRINT_BYTES / 64);
+        let big = SystemWorkload::rate(bench("pr-web"), 4, 16 * GIB, 1);
+        assert!(big.footprint_lines(0) > w.footprint_lines(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed physical memory")]
+    fn rejects_oversized_footprints() {
+        let _ = SystemWorkload::rate_scaled(bench("pr-web"), 4, GIB, 1, 1);
+    }
+
+    #[test]
+    fn writes_stay_within_the_write_working_set() {
+        // mcf writes only 15% of its footprint; reads cover it all.
+        let mut w = SystemWorkload::rate(bench("mcf"), 1, 16 * GIB, 21);
+        let mut write_lines = std::collections::HashSet::new();
+        let mut read_lines = std::collections::HashSet::new();
+        for _ in 0..60_000 {
+            let r = w.next_record(0);
+            if r.is_write {
+                write_lines.insert(r.line);
+            } else {
+                read_lines.insert(r.line);
+            }
+        }
+        // Writes revisit a bounded set of distinct lines even though reads
+        // scatter: the distinct-write set is far smaller than a same-sized
+        // sample of reads would be.
+        let writes = write_lines.len() as f64;
+        let reads = read_lines.len() as f64;
+        assert!(writes < reads, "writes {writes} !< reads {reads}");
+
+        // Streaming benchmarks write their whole footprint: distinct write
+        // lines keep growing with the trace.
+        let mut s = SystemWorkload::rate(bench("lbm"), 1, 16 * GIB, 21);
+        let mut stream_writes = std::collections::HashSet::new();
+        for _ in 0..60_000 {
+            let r = s.next_record(0);
+            if r.is_write {
+                stream_writes.insert(r.line);
+            }
+        }
+        assert!(stream_writes.len() > 20_000, "{}", stream_writes.len());
+    }
+}

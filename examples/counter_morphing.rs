@@ -1,0 +1,101 @@
+//! Watch a morphable counter line morph through its representations as the
+//! write pattern changes (§III–IV of the paper):
+//!
+//! 1. sparse writes → ZCC with wide counters,
+//! 2. more distinct counters → ZCC narrows (utility-based allotment),
+//! 3. dense usage → MCR double-base format,
+//! 4. saturation under uniform writes → rebasing (no re-encryption),
+//! 5. the §V pathological pattern → overflow after exactly 67 writes.
+//!
+//! Run with: `cargo run --release --example counter_morphing`
+
+use morphtree_core::counters::morph::{MorphLine, MorphMode};
+use morphtree_core::counters::{CounterLine, IncrementOutcome};
+
+fn describe(line: &MorphLine) -> String {
+    match line.zcc_counter_size() {
+        Some(width) => format!(
+            "format {:?}, {} non-zero counters, {width}-bit minors",
+            line.format(),
+            line.used_counters()
+        ),
+        None => format!(
+            "format {:?}, {} non-zero counters, bases {:?}",
+            line.format(),
+            line.used_counters(),
+            line.bases()
+        ),
+    }
+}
+
+fn main() {
+    let mut line = MorphLine::new(MorphMode::ZccRebase);
+    println!("fresh line:        {}", describe(&line));
+
+    // 1. Sparse usage: ten hot counters get 16 bits each.
+    for slot in 0..10 {
+        for _ in 0..1000 {
+            line.increment(slot);
+        }
+    }
+    println!("10 hot counters:   {}", describe(&line));
+    assert_eq!(line.get(3), 1000);
+
+    // 2. Crossing the 16-counter threshold narrows everyone to 8 bits —
+    //    which the 1000-valued counters cannot fit, so the line resets
+    //    (a ZCC re-width overflow, the price of compression).
+    for slot in 10..17 {
+        if let IncrementOutcome::Overflow(event) = line.increment(slot) {
+            println!(
+                "17th counter:      overflow {:?} (re-encrypt {} children)",
+                event.kind,
+                event.span.len(128)
+            );
+        }
+    }
+    println!("after re-width:    {}", describe(&line));
+
+    // 3. Dense usage: touch all 128 counters; the line morphs to MCR.
+    for slot in 0..128 {
+        line.increment(slot);
+    }
+    println!("all 128 touched:   {}", describe(&line));
+
+    // 4. Uniform writes saturate a minor; rebasing absorbs it silently.
+    let mut rebases = 0;
+    let mut overflows = 0;
+    for round in 0..40 {
+        for slot in 0..128 {
+            match line.increment(slot) {
+                IncrementOutcome::Rebased => rebases += 1,
+                IncrementOutcome::Overflow(_) => overflows += 1,
+                IncrementOutcome::Ok => {}
+            }
+        }
+        let _ = round;
+    }
+    println!(
+        "40 uniform sweeps: {rebases} rebases, {overflows} overflows \
+         (rebasing avoids {} re-encryptions)",
+        rebases * 128
+    );
+
+    // 5. The §V pathological denial-of-service pattern: 52 distinct writes
+    //    shrink the counters to 4 bits, then 15 writes to one counter.
+    let mut dos = MorphLine::new(MorphMode::ZccRebase);
+    let mut writes = 0;
+    'outer: for slot in 0..52 {
+        writes += 1;
+        if dos.increment(slot).overflow().is_some() {
+            break 'outer;
+        }
+    }
+    loop {
+        writes += 1;
+        if dos.increment(0).overflow().is_some() {
+            break;
+        }
+    }
+    println!("pathological DoS:  overflow after {writes} writes (paper: 67)");
+    assert_eq!(writes, 67);
+}

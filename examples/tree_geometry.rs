@@ -1,0 +1,59 @@
+//! Explore integrity-tree geometry: for any memory size, print the levels,
+//! per-level footprints, heights, and storage overheads of every design
+//! the paper compares (Fig 1, Fig 17, Table III).
+//!
+//! Run with: `cargo run --release --example tree_geometry -- [memory-GiB]`
+
+use morphtree_core::tree::{TreeConfig, TreeGeometry};
+
+fn human(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 30 => format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64),
+        b if b >= 1 << 20 => format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64),
+        b => format!("{b} B"),
+    }
+}
+
+fn main() {
+    let gib: u64 = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse().expect("memory size in GiB"))
+        .unwrap_or(16);
+    let memory = gib << 30;
+    println!("integrity-tree geometry for {gib} GiB of protected memory\n");
+
+    let configs = [
+        TreeConfig::sgx(),
+        TreeConfig::vault(),
+        TreeConfig::sc64(),
+        TreeConfig::sc128(),
+        TreeConfig::morphtree(),
+    ];
+    for config in &configs {
+        let geometry = TreeGeometry::new(config, memory);
+        println!(
+            "{:<16} {} tree levels | enc ctrs {:>9} ({:.3}%) | tree {:>9} ({:.4}%)",
+            config.name(),
+            geometry.height(),
+            human(geometry.enc_bytes()),
+            geometry.enc_overhead() * 100.0,
+            human(geometry.tree_bytes()),
+            geometry.tree_overhead() * 100.0,
+        );
+        print!("  levels: ");
+        for level in &geometry.levels()[1..] {
+            print!("{} ", human(level.bytes()));
+        }
+        println!("\n");
+    }
+
+    let sc64 = TreeGeometry::new(&TreeConfig::sc64(), memory);
+    let morph = TreeGeometry::new(&TreeConfig::morphtree(), memory);
+    let vault = TreeGeometry::new(&TreeConfig::vault(), memory);
+    println!(
+        "MorphTree is {:.1}x smaller than the SC-64 baseline and {:.1}x smaller than VAULT",
+        sc64.tree_bytes() as f64 / morph.tree_bytes() as f64,
+        vault.tree_bytes() as f64 / morph.tree_bytes() as f64,
+    );
+}

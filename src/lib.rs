@@ -1,0 +1,18 @@
+//! Umbrella crate for the `morphtree` reproduction repository.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the member crates:
+//!
+//! - [`morphtree_crypto`] — AES-128, SipHash-2-4 MAC, counter-mode OTP.
+//! - [`morphtree_core`] — counter representations, integrity trees, the
+//!   metadata engine, and the functional secure memory.
+//! - [`morphtree_trace`] — synthetic workload generators and the benchmark
+//!   catalog (Table II).
+//! - [`morphtree_sim`] — DDR3 timing/power model, core model, full-system
+//!   secure-memory simulator.
+
+pub use morphtree_core as core;
+pub use morphtree_crypto as crypto;
+pub use morphtree_sim as sim;
+pub use morphtree_trace as trace;

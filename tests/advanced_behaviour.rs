@@ -1,0 +1,134 @@
+//! Second-round behavioural tests: verification-mode effects, functional
+//! detection at upper tree levels, and cross-model agreement of the two
+//! DRAM backends.
+
+use morphtree_core::functional::SecureMemory;
+use morphtree_core::metadata::VerificationMode;
+use morphtree_core::tree::TreeConfig;
+use morphtree_core::IntegrityError;
+use morphtree_sim::controller::{MemoryController, SchedulerConfig};
+use morphtree_sim::dram::{DramGeometry, DramModel, DramTiming};
+use morphtree_sim::system::{simulate, SimConfig};
+use morphtree_trace::catalog::Benchmark;
+use morphtree_trace::workload::SystemWorkload;
+
+fn config() -> SimConfig {
+    SimConfig {
+        cores: 2,
+        memory_bytes: (16 << 30) / 64,
+        metadata_cache_bytes: 4096,
+        warmup_instructions: 150_000,
+        measure_instructions: 150_000,
+        ..SimConfig::default()
+    }
+}
+
+fn workload(name: &str, cfg: &SimConfig) -> SystemWorkload {
+    SystemWorkload::rate_scaled(
+        Benchmark::by_name(name).expect("catalog name"),
+        cfg.cores,
+        cfg.memory_bytes,
+        1234,
+        64,
+    )
+}
+
+#[test]
+fn speculation_hides_latency_but_not_traffic() {
+    let strict_cfg = config();
+    let mut spec_cfg = config();
+    spec_cfg.verification = VerificationMode::Speculative;
+
+    let strict = simulate(&mut workload("mcf", &strict_cfg), TreeConfig::sc64(), &strict_cfg);
+    let spec = simulate(&mut workload("mcf", &spec_cfg), TreeConfig::sc64(), &spec_cfg);
+
+    // On a fully bandwidth-bound stream speculation is a statistical tie;
+    // it must never *hurt* beyond noise (the latency side can only improve).
+    assert!(
+        spec.ipc() >= strict.ipc() * 0.99,
+        "speculation must not slow things down: {} vs {}",
+        spec.ipc(),
+        strict.ipc()
+    );
+    // §VIII-B2: the bandwidth overhead is untouched.
+    let traffic_gap =
+        (spec.traffic_per_data_access() - strict.traffic_per_data_access()).abs();
+    assert!(traffic_gap < 0.05, "traffic should be unchanged, gap {traffic_gap}");
+}
+
+#[test]
+fn tampering_any_tree_level_is_caught_at_the_child_it_keys() {
+    // A level-L counter keys the MAC of its level-(L-1) child (the data
+    // MAC for L = 0), so tampering level L must surface exactly there.
+    let memory = SecureMemory::new(TreeConfig::sc64(), 1 << 22, [8; 16]);
+    let height = memory.geometry().top_level();
+    drop(memory);
+    for level in 0..height {
+        let mut fresh = SecureMemory::new(TreeConfig::sc64(), 1 << 22, [8; 16]);
+        for line in 0..256 {
+            fresh.write(line, &[line as u8; 64]);
+        }
+        fresh.tamper_counter(level, 0);
+        match (level, fresh.read(0)) {
+            (0, Err(IntegrityError::DataMac { .. })) => {}
+            (l, Err(IntegrityError::CounterMac { level: detected, .. })) if l > 0 => {
+                assert_eq!(detected, l - 1, "caught at the keyed child");
+            }
+            (l, other) => panic!("level {l}: unexpected verdict {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn single_base_config_protects_end_to_end() {
+    let mut memory =
+        SecureMemory::new(TreeConfig::morphtree_single_base(), 1 << 22, [9; 16]);
+    // Dense writes push lines into the uniform format with rebasing.
+    for round in 0..20u8 {
+        for line in 0..256 {
+            memory.write(line, &[round; 64]);
+        }
+    }
+    assert_eq!(memory.read(100).unwrap(), [19u8; 64]);
+    let stale = memory.snapshot(100);
+    memory.write(100, &[0xee; 64]);
+    memory.replay(&stale);
+    assert!(memory.read(100).is_err(), "replay detected under single-base");
+}
+
+#[test]
+fn dram_backends_agree_on_an_uncontended_stream() {
+    // With requests spaced far apart there is nothing to reorder: the fast
+    // model and the FR-FCFS controller must produce identical completions.
+    let timing = DramTiming { t_refi: 0, ..DramTiming::default() };
+    let mut fast = DramModel::new(DramGeometry::default(), timing);
+    let mut queued =
+        MemoryController::new(DramGeometry::default(), timing, SchedulerConfig::default());
+    let mut at = 0u64;
+    for i in 0..200u64 {
+        at += 1000; // far beyond any service time
+        let addr = (i * 7919 * 64) % (1 << 30) & !63;
+        let fast_done = fast.request(at, addr, i % 4 == 0);
+        let id = queued.enqueue(at, addr, i % 4 == 0);
+        let queued_done = queued.complete(id);
+        assert_eq!(fast_done, queued_done, "request {i} at {at:#x}");
+    }
+    assert_eq!(fast.stats().row_hits, queued.stats().row_hits);
+    assert_eq!(fast.stats().activates, queued.stats().activates);
+}
+
+#[test]
+fn per_workload_headline_signs_match_the_paper() {
+    // Spot-check the three per-workload claims §VII-A singles out, at the
+    // fast test scale: random-access workloads gain, streaming is neutral.
+    let cfg = config();
+    for (name, lo, hi) in [("omnetpp", 1.02, 2.0), ("libquantum", 0.93, 1.12)] {
+        let sc64 = simulate(&mut workload(name, &cfg), TreeConfig::sc64(), &cfg);
+        let morph = simulate(&mut workload(name, &cfg), TreeConfig::morphtree(), &cfg);
+        let ratio = morph.ipc() / sc64.ipc();
+        assert!(
+            (lo..hi).contains(&ratio),
+            "{name}: morph/sc64 = {ratio} outside [{lo}, {hi})"
+        );
+    }
+}

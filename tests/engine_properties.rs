@@ -1,0 +1,154 @@
+//! Property-based tests of the metadata engine: whatever the access
+//! pattern, the engine's accounting and counter state must stay coherent.
+
+use proptest::prelude::*;
+
+use morphtree_core::metadata::{AccessCategory, MacMode, MetadataEngine};
+use morphtree_core::tree::TreeConfig;
+
+const MEM: u64 = 1 << 22; // 4 MiB
+const LINES: u64 = MEM / 64;
+
+fn configs() -> impl Strategy<Value = TreeConfig> {
+    prop_oneof![
+        Just(TreeConfig::sgx()),
+        Just(TreeConfig::vault()),
+        Just(TreeConfig::sc64()),
+        Just(TreeConfig::sc128()),
+        Just(TreeConfig::morphtree()),
+        Just(TreeConfig::morphtree_zcc_only()),
+        Just(TreeConfig::morphtree_single_base()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Traffic accounting is complete and self-consistent for arbitrary
+    /// access sequences: categories partition the total, data counters
+    /// match the requests issued, and every emitted access is line-aligned.
+    #[test]
+    fn accounting_is_coherent(
+        config in configs(),
+        ops in proptest::collection::vec((0u64..LINES, any::<bool>()), 1..400),
+    ) {
+        let mut engine = MetadataEngine::new(config, MEM, 4096, MacMode::Inline);
+        let mut accesses = Vec::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut emitted = 0u64;
+        for (line, is_write) in ops {
+            accesses.clear();
+            if is_write {
+                engine.write(line, &mut accesses);
+                writes += 1;
+            } else {
+                engine.read(line, &mut accesses);
+                reads += 1;
+            }
+            emitted += accesses.len() as u64;
+            for access in &accesses {
+                prop_assert_eq!(access.addr % 64, 0, "line-aligned addresses");
+            }
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.data_reads, reads);
+        prop_assert_eq!(stats.data_writes, writes);
+        prop_assert_eq!(stats.total_accesses(), emitted);
+        let by_category: u64 = AccessCategory::ALL
+            .iter()
+            .map(|&c| stats.total(c))
+            .sum();
+        prop_assert_eq!(by_category, emitted, "categories partition the traffic");
+        prop_assert_eq!(stats.total(AccessCategory::Data), reads + writes);
+        prop_assert_eq!(stats.total(AccessCategory::Mac), 0, "inline MACs are free");
+    }
+
+    /// Encryption counters count writes exactly: `counter(line) ==
+    /// effective value after exactly `k` increments`, monotone and
+    /// identical to an independent shadow count *in increment count* (the
+    /// effective value may run ahead after overflows, never behind).
+    #[test]
+    fn counters_track_writes(
+        config in configs(),
+        ops in proptest::collection::vec(0u64..64, 1..600),
+    ) {
+        let mut engine = MetadataEngine::new(config, MEM, 4096, MacMode::Inline);
+        let mut shadow = vec![0u64; 64];
+        let mut accesses = Vec::new();
+        for line in ops {
+            accesses.clear();
+            engine.write(line, &mut accesses);
+            shadow[line as usize] += 1;
+        }
+        for (line, &count) in shadow.iter().enumerate() {
+            let value = engine.counter_value(0, line as u64);
+            prop_assert!(
+                value >= count,
+                "line {line}: counter {value} < write count {count}"
+            );
+        }
+    }
+
+    /// Reads never mutate counter state.
+    #[test]
+    fn reads_are_counter_pure(
+        config in configs(),
+        lines in proptest::collection::vec(0u64..LINES, 1..300),
+    ) {
+        let mut engine = MetadataEngine::new(config, MEM, 4096, MacMode::Inline);
+        let mut accesses = Vec::new();
+        engine.write(7, &mut accesses);
+        let before = engine.counter_value(0, 7);
+        for line in lines {
+            accesses.clear();
+            engine.read(line, &mut accesses);
+        }
+        prop_assert_eq!(engine.counter_value(0, 7), before);
+        prop_assert_eq!(engine.stats().overflows_by_level[0], 0);
+    }
+
+    /// Overflow traffic always comes in read+write pairs to child
+    /// addresses.
+    #[test]
+    fn overflow_traffic_is_paired(
+        seed_lines in proptest::collection::vec(0u64..128, 0..64),
+    ) {
+        let mut engine =
+            MetadataEngine::new(TreeConfig::sc128(), MEM, 4096, MacMode::Inline);
+        let mut accesses = Vec::new();
+        for line in seed_lines {
+            accesses.clear();
+            engine.write(line, &mut accesses);
+        }
+        // Hammer one line to force overflows, checking the emitted pairs.
+        for _ in 0..64 {
+            accesses.clear();
+            engine.write(0, &mut accesses);
+            let overflow: Vec<_> = accesses
+                .iter()
+                .filter(|a| a.category == AccessCategory::Overflow)
+                .collect();
+            prop_assert_eq!(overflow.len() % 2, 0, "read+write pairs");
+            let reads = overflow.iter().filter(|a| !a.is_write).count();
+            prop_assert_eq!(reads * 2, overflow.len());
+        }
+        prop_assert!(engine.stats().overflows_by_level[0] > 0);
+    }
+}
+
+#[test]
+fn engine_statistics_reset_is_complete() {
+    let mut engine = MetadataEngine::new(TreeConfig::morphtree(), MEM, 4096, MacMode::Inline);
+    let mut accesses = Vec::new();
+    for line in 0..512 {
+        engine.write(line, &mut accesses);
+        accesses.clear();
+    }
+    engine.reset_stats();
+    let stats = engine.stats();
+    assert_eq!(stats.total_accesses(), 0);
+    assert_eq!(stats.data_accesses(), 0);
+    assert_eq!(stats.total_overflows(), 0);
+    assert_eq!(stats.overflow_kinds, [0; 5]);
+}

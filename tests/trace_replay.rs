@@ -1,0 +1,75 @@
+//! Trace capture/replay integration: a recorded trace must drive the
+//! simulator to the *same* result as the live workload it was captured
+//! from.
+
+use morphtree_core::tree::TreeConfig;
+use morphtree_sim::system::{simulate, SimConfig};
+use morphtree_trace::catalog::Benchmark;
+use morphtree_trace::io::RecordedTrace;
+use morphtree_trace::workload::SystemWorkload;
+
+fn config() -> SimConfig {
+    // One core: with several cores the capture order (core-by-core) would
+    // drive the shared physical-page allocator differently than the live
+    // interleaved order, so physical placements — and thus timing — would
+    // legitimately differ.
+    SimConfig {
+        cores: 1,
+        memory_bytes: (16 << 30) / 64,
+        metadata_cache_bytes: 4096,
+        warmup_instructions: 100_000,
+        measure_instructions: 100_000,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn replayed_trace_reproduces_the_live_simulation_exactly() {
+    let cfg = config();
+    let bench = Benchmark::by_name("soplex").unwrap();
+
+    // Capture comfortably more records than the simulation will consume.
+    let mut capture_source =
+        SystemWorkload::rate_scaled(bench, cfg.cores, cfg.memory_bytes, 9, 64);
+    let records_needed =
+        ((cfg.warmup_instructions + cfg.measure_instructions) as f64 / 1000.0
+            * bench.total_pki()
+            * 2.0) as usize;
+    let trace = RecordedTrace::capture(&mut capture_source, records_needed);
+
+    // Round-trip the trace through the on-disk format.
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).unwrap();
+    let mut replayed = RecordedTrace::read_from(bytes.as_slice()).unwrap();
+
+    let mut live = SystemWorkload::rate_scaled(bench, cfg.cores, cfg.memory_bytes, 9, 64);
+    let live_result = simulate(&mut live, TreeConfig::morphtree(), &cfg);
+    let replay_result = simulate(&mut replayed, TreeConfig::morphtree(), &cfg);
+
+    assert_eq!(live_result.cycles, replay_result.cycles);
+    assert_eq!(live_result.instructions, replay_result.instructions);
+    assert_eq!(live_result.dram, replay_result.dram);
+    assert_eq!(
+        live_result.engine.total_accesses(),
+        replay_result.engine.total_accesses()
+    );
+}
+
+#[test]
+fn trace_survives_a_file_roundtrip() {
+    let bench = Benchmark::by_name("lbm").unwrap();
+    let mut source = SystemWorkload::rate(bench, 4, 16 << 30, 3);
+    let trace = RecordedTrace::capture(&mut source, 500);
+
+    let path = std::env::temp_dir().join("morphtree-trace-test.mtrc");
+    trace.save(&path).unwrap();
+    let loaded = RecordedTrace::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.num_cores(), 4);
+    use morphtree_trace::workload::RecordSource;
+    assert_eq!(loaded.name(), "lbm");
+    for core in 0..4 {
+        assert_eq!(loaded.len(core), 500);
+    }
+}
