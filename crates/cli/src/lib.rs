@@ -6,6 +6,7 @@
 //! - `simulate` — run the full-system simulator on a Table II workload;
 //! - `capture` / `replay` — record a workload to an `MTRC` trace file and
 //!   drive the simulator from it;
+//! - `sweep` — regenerate paper figures with the parallel sweep engine;
 //! - `attack` — functional tamper/replay demonstration;
 //! - `list` — available workloads and tree configurations.
 //!
@@ -135,6 +136,8 @@ pub fn usage() -> String {
      \x20           [--instructions 2000000] [--warmup 4000000] [--seed 42]\n\
      \x20 capture   --workload NAME --out FILE [--records 100000] [--cores 4]\n\
      \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
+     \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
+     \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
      \x20 attack    [--config morph]\n\
      \x20 list\n\
      \x20 help\n"
@@ -153,6 +156,7 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&flags),
         "capture" => cmd_capture(&flags),
         "replay" => cmd_replay(&flags),
+        "sweep" => cmd_sweep(&flags),
         "attack" => cmd_attack(&flags),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -302,6 +306,33 @@ fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_experiments::{driver, Lab, Setup};
+
+    let figure = flags.get_or("figure", "all");
+    let names: Vec<&str> = if figure == "all" {
+        driver::figure_names()
+    } else {
+        figure.split(',').collect()
+    };
+    let setup = Setup {
+        scale: flags.number_or("scale", 16)?.max(1),
+        warmup_instructions: flags.number_or("warmup", 4_000_000)?,
+        measure_instructions: flags.number_or("instructions", 2_000_000)?,
+        seed: flags.number_or("seed", 42)?,
+    };
+    let threads = flags.number_or("threads", 0)? as usize;
+    let mut lab = Lab::new(setup);
+    lab.set_threads(threads);
+    driver::run_figures(&mut lab, &names).map_err(err)?;
+    Ok(format!(
+        "sweep complete: {} figure(s) regenerated under results/ ({} simulations, {} engine studies memoized)\n",
+        names.len(),
+        lab.sim_results().len(),
+        lab.engine_results().len(),
+    ))
+}
+
 fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
     let tree = tree_by_name(flags.get_or("config", "morph"))?;
     let mut out = format!("functional attack demo on {}\n\n", tree.name());
@@ -404,6 +435,20 @@ mod tests {
         assert!(out.contains("mcf"));
         assert!(out.contains("cc-web"));
         assert!(out.contains("mix6"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_figures() {
+        let e = run("sweep", &strs(&["--figure", "fig99"])).unwrap_err();
+        assert!(e.0.contains("unknown figure `fig99`"), "{}", e.0);
+    }
+
+    #[test]
+    fn sweep_runs_analytic_figures() {
+        // ext_scaling is analytic (no simulations), so this exercises the
+        // full plan/prefetch/render path in milliseconds.
+        let out = run("sweep", &strs(&["--figure", "ext_scaling"])).unwrap();
+        assert!(out.contains("sweep complete: 1 figure(s)"), "{out}");
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub struct MemAccess {
 }
 
 /// Aggregated engine statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `Eq` so the experiment layer's determinism tests can assert
+/// that serial and parallel sweeps produce identical statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Demand data reads observed.
     pub data_reads: u64,

@@ -1,24 +1,16 @@
 //! Runs the extension experiments beyond the paper's figures (DESIGN.md §7):
 //! speculation, replacement policy, single-base rebasing, SGX, scaling.
-
-use morphtree_experiments::figures::extensions;
-use morphtree_experiments::{report, Lab, Setup};
+//! Pass `--threads N` to pin the sweep worker count.
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let mut combined = String::new();
-    for (name, fun) in [
-        ("ext_scaling", extensions::scaling as fn(&mut Lab) -> String),
-        ("ext_single_base", extensions::single_base),
-        ("ext_sgx", extensions::sgx),
-        ("ext_speculation", extensions::speculation),
-        ("ext_replacement", extensions::replacement),
-        ("ext_scheduler", extensions::scheduler),
-    ] {
-        eprintln!("==== {name} ====");
-        let output = fun(&mut lab);
-        report::emit(name, &output);
-        combined.push_str(&format!("\n==== {name} ====\n\n{output}\n"));
-    }
-    report::emit("extensions", &combined);
+    let names = [
+        "ext_scaling",
+        "ext_single_base",
+        "ext_sgx",
+        "ext_speculation",
+        "ext_replacement",
+        "ext_scheduler",
+    ];
+    let combined = morphtree_experiments::driver::figure_main(&names);
+    morphtree_experiments::report::emit("extensions", &combined);
 }

@@ -1,10 +1,8 @@
-//! Regenerates the paper's Fig 05 (see `morphtree_experiments::figures::fig05`).
-
-use morphtree_experiments::figures::fig05;
-use morphtree_experiments::{report, Lab, Setup};
+//! Regenerates the paper's Fig 5 (see `morphtree_experiments::figures::fig05`).
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = fig05::run(&mut lab);
-    report::emit("fig05", &output);
+    morphtree_experiments::driver::figure_main(&["fig05"]);
 }

@@ -1,10 +1,8 @@
-//! Regenerates the paper's Fig 06 (see `morphtree_experiments::figures::fig06`).
-
-use morphtree_experiments::figures::fig06;
-use morphtree_experiments::{report, Lab, Setup};
+//! Regenerates the paper's Fig 6 (see `morphtree_experiments::figures::fig06`).
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = fig06::run(&mut lab);
-    report::emit("fig06", &output);
+    morphtree_experiments::driver::figure_main(&["fig06"]);
 }

@@ -1,10 +1,8 @@
-//! Regenerates the paper's Fig 07 (see `morphtree_experiments::figures::fig07`).
-
-use morphtree_experiments::figures::fig07;
-use morphtree_experiments::{report, Lab, Setup};
+//! Regenerates the paper's Fig 7 (see `morphtree_experiments::figures::fig07`).
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = fig07::run(&mut lab);
-    report::emit("fig07", &output);
+    morphtree_experiments::driver::figure_main(&["fig07"]);
 }

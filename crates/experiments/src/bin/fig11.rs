@@ -1,10 +1,8 @@
 //! Regenerates the paper's Fig 11 (see `morphtree_experiments::figures::fig11`).
-
-use morphtree_experiments::figures::fig11;
-use morphtree_experiments::{report, Lab, Setup};
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = fig11::run(&mut lab);
-    report::emit("fig11", &output);
+    morphtree_experiments::driver::figure_main(&["fig11"]);
 }

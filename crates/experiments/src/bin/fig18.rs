@@ -1,10 +1,8 @@
 //! Regenerates the paper's Fig 18 (see `morphtree_experiments::figures::fig18`).
-
-use morphtree_experiments::figures::fig18;
-use morphtree_experiments::{report, Lab, Setup};
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = fig18::run(&mut lab);
-    report::emit("fig18", &output);
+    morphtree_experiments::driver::figure_main(&["fig18"]);
 }

@@ -1,45 +1,15 @@
-//! Regenerates every reproduced table and figure in one run, sharing
-//! simulations across figures via the lab's memoization.
+//! Regenerates every reproduced table and figure in one run: plans the
+//! union of all figures' run-sets, prefetches it across worker threads
+//! (deduplicating the simulations figures share), then renders each
+//! figure from the shared memo. Pass `--threads N` to pin the worker
+//! count (default: all cores).
 
-use morphtree_experiments::figures::{
-    extensions, fig05, fig06, fig07, fig10, fig11, fig14, fig15, fig16, fig17, fig18,
-    fig19, fig20, table3,
-};
-use morphtree_experiments::{report, Lab, Setup};
-
-type FigureFn = fn(&mut Lab) -> String;
+use morphtree_experiments::{driver, report};
 
 fn main() {
     let start = std::time::Instant::now();
-    let mut lab = Lab::new(Setup::default());
-    let figures: Vec<(&str, FigureFn)> = vec![
-        ("table3", table3::run),
-        ("fig17", fig17::run),
-        ("fig06", fig06::run),
-        ("fig10", fig10::run),
-        ("fig15", fig15::run),
-        ("fig16", fig16::run),
-        ("fig18", fig18::run),
-        ("fig05", fig05::run),
-        ("fig19", fig19::run),
-        ("fig20", fig20::run),
-        ("fig07", fig07::run),
-        ("fig11", fig11::run),
-        ("fig14", fig14::run),
-        ("ext_scaling", extensions::scaling),
-        ("ext_single_base", extensions::single_base),
-        ("ext_sgx", extensions::sgx),
-        ("ext_speculation", extensions::speculation),
-        ("ext_replacement", extensions::replacement),
-        ("ext_scheduler", extensions::scheduler),
-    ];
-    let mut combined = String::new();
-    for (name, fun) in figures {
-        eprintln!("==== {name} ====");
-        let output = fun(&mut lab);
-        report::emit(name, &output);
-        combined.push_str(&format!("\n==== {name} ====\n\n{output}\n"));
-    }
+    let names = driver::figure_names();
+    let combined = driver::figure_main(&names);
     report::emit("all", &combined);
     eprintln!("runall finished in {:?}", start.elapsed());
 }

@@ -1,10 +1,8 @@
-//! Regenerates the paper's table3 (see `morphtree_experiments::figures::table3`).
-
-use morphtree_experiments::figures::table3;
-use morphtree_experiments::{report, Lab, Setup};
+//! Regenerates the paper's Table III (see `morphtree_experiments::figures::table3`).
+//!
+//! The run-set is declared up front and prefetched across worker threads;
+//! pass `--threads N` to pin the worker count (default: all cores).
 
 fn main() {
-    let mut lab = Lab::new(Setup::default());
-    let output = table3::run(&mut lab);
-    report::emit("table3", &output);
+    morphtree_experiments::driver::figure_main(&["table3"]);
 }

@@ -1,0 +1,107 @@
+//! Batch figure driver: plans the union of the selected figures'
+//! run-sets, prefetches it across worker threads ([`Lab::prefetch`]),
+//! then renders each figure serially from the shared memo.
+//!
+//! Because figures share runs (Fig 15/16/18 read the same simulations),
+//! planning the union before prefetching both deduplicates work across
+//! figures and gives the work queue its full width up front.
+
+use crate::figures::{self, Figure};
+use crate::report;
+use crate::runner::{Lab, Setup, Sweep};
+
+/// The names of every reproducible figure, in `runall` order.
+#[must_use]
+pub fn figure_names() -> Vec<&'static str> {
+    figures::catalog().iter().map(|f| f.name).collect()
+}
+
+/// Plans, prefetches, and renders the named figures; each report is
+/// printed and saved under `results/`. Returns the combined report.
+///
+/// # Errors
+///
+/// Errors on unknown figure names (nothing is simulated in that case).
+pub fn run_figures(lab: &mut Lab, names: &[&str]) -> Result<String, String> {
+    let catalog = figures::catalog();
+    let mut selected: Vec<&Figure> = Vec::with_capacity(names.len());
+    for name in names {
+        let figure = catalog.iter().find(|f| f.name == *name).ok_or_else(|| {
+            format!("unknown figure `{name}` (known: {})", figure_names().join(" "))
+        })?;
+        selected.push(figure);
+    }
+
+    let mut sweep = Sweep::new();
+    for figure in &selected {
+        (figure.plan)(lab.setup(), &mut sweep);
+    }
+    lab.prefetch(&sweep);
+
+    let mut combined = String::new();
+    for figure in &selected {
+        if lab.verbose {
+            eprintln!("==== {} ====", figure.name);
+        }
+        let output = (figure.run)(lab);
+        report::emit(figure.name, &output);
+        combined.push_str(&format!("\n==== {} ====\n\n{output}\n", figure.name));
+    }
+    Ok(combined)
+}
+
+/// Entry point shared by the figure binaries: parses `--threads N` from
+/// the command line and regenerates the named figures at the default
+/// operating point. Returns the combined report.
+///
+/// # Panics
+///
+/// Exits the process (status 2) on bad flags or unknown figure names.
+pub fn figure_main(names: &[&str]) -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            threads = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads needs a number");
+                std::process::exit(2);
+            });
+        } else {
+            eprintln!("unknown flag `{arg}` (supported: --threads N)");
+            std::process::exit(2);
+        }
+    }
+    let mut lab = Lab::new(Setup::default());
+    lab.set_threads(threads);
+    match run_figures(&mut lab, names) {
+        Ok(combined) => combined,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figures_are_rejected_before_simulating() {
+        let mut lab = Lab::new(Setup::default());
+        lab.verbose = false;
+        let err = run_figures(&mut lab, &["not-a-figure"]).unwrap_err();
+        assert!(err.contains("unknown figure `not-a-figure`"), "{err}");
+        assert!(lab.sim_results().is_empty(), "nothing should have run");
+    }
+
+    #[test]
+    fn figure_names_match_the_catalog() {
+        let names = figure_names();
+        assert_eq!(names.len(), 19);
+        assert_eq!(names[0], "table3");
+        assert!(names.contains(&"fig15"));
+        assert!(names.contains(&"ext_scheduler"));
+    }
+}

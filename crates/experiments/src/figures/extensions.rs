@@ -15,11 +15,10 @@ use morphtree_core::metadata::{MacMode, MetadataEngine, ReplacementPolicy, Verif
 use morphtree_core::tree::{TreeConfig, TreeGeometry};
 use morphtree_sim::controller::{MemoryController, SchedulerConfig};
 use morphtree_sim::dram::{DramGeometry, DramModel, DramTiming};
-use morphtree_sim::system::simulate;
 
 use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// A representative workload subset (one per pattern class) for the
 /// extension sweeps, keeping them fast.
@@ -27,26 +26,35 @@ fn subset() -> Vec<&'static str> {
     vec!["mcf", "omnetpp", "GemsFDTD", "libquantum", "gcc", "pr-twit", "bc-web"]
 }
 
-/// PoisonIvy-style speculation ablation.
-pub fn speculation(lab: &mut Lab) -> String {
-    let workloads = subset();
-    let cfg_base = lab.setup().sim_config();
-
-    let mut rows = Vec::new();
-    for (tree, verification, label) in [
+/// The speculation ablation's four configurations.
+fn speculation_matrix() -> [(TreeConfig, VerificationMode, &'static str); 4] {
+    [
         (TreeConfig::sc64(), VerificationMode::Strict, "SC-64 strict"),
         (TreeConfig::sc64(), VerificationMode::Speculative, "SC-64 speculative"),
         (TreeConfig::morphtree(), VerificationMode::Strict, "MorphCtr strict"),
         (TreeConfig::morphtree(), VerificationMode::Speculative, "MorphCtr speculative"),
-    ] {
+    ]
+}
+
+/// PoisonIvy-style speculation ablation.
+pub fn speculation(lab: &mut Lab) -> String {
+    let workloads = subset();
+    let cache = lab.setup().metadata_cache_bytes();
+
+    let mut rows = Vec::new();
+    for (tree, verification, label) in speculation_matrix() {
         let mut rel = Vec::new();
         let mut traffic = Vec::new();
         for w in &workloads {
             let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
-            let mut cfg = cfg_base.clone();
-            cfg.verification = verification;
-            let mut workload = lab.setup().workload(w);
-            let r = simulate(&mut workload, tree.clone(), &cfg);
+            let r = lab.result_full(
+                w,
+                Some(tree.clone()),
+                cache,
+                MacMode::Inline,
+                verification,
+                ReplacementPolicy::default(),
+            );
             rel.push(r.ipc() / base);
             traffic.push(r.traffic_per_data_access());
         }
@@ -76,7 +84,7 @@ pub fn speculation(lab: &mut Lab) -> String {
 /// Metadata type-aware replacement ablation.
 pub fn replacement(lab: &mut Lab) -> String {
     let workloads = subset();
-    let cfg_base = lab.setup().sim_config();
+    let cache = lab.setup().metadata_cache_bytes();
 
     let mut table = Table::new(vec!["config", "LRU", "level-aware", "gain"]);
     let mut out =
@@ -87,10 +95,14 @@ pub fn replacement(lab: &mut Lab) -> String {
             let mut rel = Vec::new();
             for w in &workloads {
                 let base = lab.result(w, Some(TreeConfig::sc64())).ipc();
-                let mut cfg = cfg_base.clone();
-                cfg.replacement = policy;
-                let mut workload = lab.setup().workload(w);
-                let r = simulate(&mut workload, tree.clone(), &cfg);
+                let r = lab.result_full(
+                    w,
+                    Some(tree.clone()),
+                    cache,
+                    MacMode::Inline,
+                    VerificationMode::default(),
+                    policy,
+                );
                 rel.push(r.ipc() / base);
             }
             per_policy.push(geomean(&rel));
@@ -322,4 +334,64 @@ pub fn scheduler(lab: &mut Lab) -> String {
          results are insensitive to the choice (see DESIGN.md).\n",
     );
     out
+}
+
+/// Declares the speculation ablation's run-set (plus its SC-64 baseline).
+pub fn plan_speculation(setup: &Setup, sweep: &mut Sweep) {
+    let cache = setup.metadata_cache_bytes();
+    for w in subset() {
+        sweep.sim(setup, w, Some(TreeConfig::sc64()));
+        for (tree, verification, _) in speculation_matrix() {
+            sweep.sim_full(
+                w,
+                Some(tree),
+                cache,
+                MacMode::Inline,
+                verification,
+                ReplacementPolicy::default(),
+            );
+        }
+    }
+}
+
+/// Declares the replacement ablation's run-set (plus its SC-64 baseline).
+pub fn plan_replacement(setup: &Setup, sweep: &mut Sweep) {
+    let cache = setup.metadata_cache_bytes();
+    for w in subset() {
+        sweep.sim(setup, w, Some(TreeConfig::sc64()));
+        for tree in [TreeConfig::sc64(), TreeConfig::morphtree()] {
+            for policy in [ReplacementPolicy::Lru, ReplacementPolicy::LevelAware] {
+                sweep.sim_full(
+                    w,
+                    Some(tree.clone()),
+                    cache,
+                    MacMode::Inline,
+                    VerificationMode::default(),
+                    policy,
+                );
+            }
+        }
+    }
+}
+
+/// Declares the single-base study's run-set: engine studies of every rate
+/// workload under the three MorphCtr variants.
+pub fn plan_single_base(_setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::rate_workloads() {
+        for tree in [
+            TreeConfig::morphtree_zcc_only(),
+            TreeConfig::morphtree_single_base(),
+            TreeConfig::morphtree(),
+        ] {
+            sweep.engine(w, tree, ENGINE_STUDY_INSTRUCTIONS);
+        }
+    }
+}
+
+/// Declares the SGX study's run-set (plus its SC-64 baseline).
+pub fn plan_sgx(setup: &Setup, sweep: &mut Sweep) {
+    for w in subset() {
+        sweep.sim(setup, w, Some(TreeConfig::sc64()));
+        sweep.sim(setup, w, Some(TreeConfig::sgx()));
+    }
 }

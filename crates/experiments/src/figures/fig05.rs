@@ -10,7 +10,7 @@ use morphtree_core::metadata::AccessCategory;
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 5.
 pub fn run(lab: &mut Lab) -> String {
@@ -73,4 +73,19 @@ pub fn run(lab: &mut Lab) -> String {
          extra counter accesses per data access, with SC-128 adding ~1 overflow access.\n",
     );
     out
+}
+
+/// Declares Fig 5's run-set: all 28 workloads under Non-Secure, VAULT,
+/// SC-64, and SC-128.
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::all_workloads() {
+        for tree in [
+            None,
+            Some(TreeConfig::vault()),
+            Some(TreeConfig::sc64()),
+            Some(TreeConfig::sc128()),
+        ] {
+            sweep.sim(setup, w, tree);
+        }
+    }
 }

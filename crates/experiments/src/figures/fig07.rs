@@ -10,7 +10,7 @@ use morphtree_core::metadata::stats::USED_FRACTION_BINS;
 use morphtree_core::tree::TreeConfig;
 
 use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 7.
 pub fn run(lab: &mut Lab) -> String {
@@ -55,4 +55,12 @@ pub fn run(lab: &mut Lab) -> String {
         top_eighth * 100.0
     ));
     out
+}
+
+/// Declares Fig 7's run-set: engine studies of every rate workload under
+/// SC-64.
+pub fn plan(_setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::rate_workloads() {
+        sweep.engine(w, TreeConfig::sc64(), ENGINE_STUDY_INSTRUCTIONS);
+    }
 }

@@ -11,7 +11,7 @@ use morphtree_core::tree::TreeConfig;
 
 use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
 use crate::report::Table;
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 11.
 pub fn run(lab: &mut Lab) -> String {
@@ -54,4 +54,18 @@ pub fn run(lab: &mut Lab) -> String {
         sums[1] / sums[2].max(1e-9),
     ));
     out
+}
+
+/// Declares Fig 11's run-set: engine studies of every rate workload under
+/// SC-64, SC-128, and ZCC-only MorphCtr.
+pub fn plan(_setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::rate_workloads() {
+        for tree in [
+            TreeConfig::sc64(),
+            TreeConfig::sc128(),
+            TreeConfig::morphtree_zcc_only(),
+        ] {
+            sweep.engine(w, tree, ENGINE_STUDY_INSTRUCTIONS);
+        }
+    }
 }

@@ -11,7 +11,7 @@ use morphtree_core::tree::TreeConfig;
 
 use crate::figures::ENGINE_STUDY_INSTRUCTIONS;
 use crate::report::Table;
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 14 (also reporting rebases — overflows avoided).
 pub fn run(lab: &mut Lab) -> String {
@@ -72,4 +72,18 @@ pub fn run(lab: &mut Lab) -> String {
         gems_ratio,
     ));
     out
+}
+
+/// Declares Fig 14's run-set: engine studies of every rate workload under
+/// SC-64, ZCC-only MorphCtr, and full MorphCtr-128.
+pub fn plan(_setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::rate_workloads() {
+        for tree in [
+            TreeConfig::sc64(),
+            TreeConfig::morphtree_zcc_only(),
+            TreeConfig::morphtree(),
+        ] {
+            sweep.engine(w, tree, ENGINE_STUDY_INSTRUCTIONS);
+        }
+    }
 }

@@ -9,7 +9,7 @@
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 15.
 pub fn run(lab: &mut Lab) -> String {
@@ -63,4 +63,14 @@ pub fn run(lab: &mut Lab) -> String {
         pct_delta(best),
     ));
     out
+}
+
+/// Declares Fig 15's run-set: all 28 workloads under SC-64, VAULT, and
+/// MorphCtr-128.
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::all_workloads() {
+        for tree in [TreeConfig::sc64(), TreeConfig::vault(), TreeConfig::morphtree()] {
+            sweep.sim(setup, w, Some(tree));
+        }
+    }
 }

@@ -10,7 +10,7 @@ use morphtree_core::metadata::AccessCategory;
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::Table;
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 16.
 pub fn run(lab: &mut Lab) -> String {
@@ -72,4 +72,14 @@ pub fn run(lab: &mut Lab) -> String {
         (morph_total / sc64_total - 1.0) * 100.0,
     ));
     out
+}
+
+/// Declares Fig 16's run-set: all 28 workloads under VAULT, SC-64, and
+/// MorphCtr-128.
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::all_workloads() {
+        for tree in [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()] {
+            sweep.sim(setup, w, Some(tree));
+        }
+    }
 }

@@ -8,7 +8,7 @@
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 18.
 pub fn run(lab: &mut Lab) -> String {
@@ -54,4 +54,14 @@ pub fn run(lab: &mut Lab) -> String {
         pct_delta(morph[3]),
     ));
     out
+}
+
+/// Declares Fig 18's run-set: the same runs as Fig 16 (energy is read
+/// from the same simulations).
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    for w in Setup::all_workloads() {
+        for tree in [TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()] {
+            sweep.sim(setup, w, Some(tree));
+        }
+    }
 }

@@ -9,7 +9,7 @@ use morphtree_core::metadata::MacMode;
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 19.
 pub fn run(lab: &mut Lab) -> String {
@@ -62,4 +62,17 @@ pub fn run(lab: &mut Lab) -> String {
         if speedups[0] > speedups[1] && speedups[1] > speedups[2] { "yes" } else { "no" },
     ));
     out
+}
+
+/// Declares Fig 19's run-set: all 28 workloads under SC-64 and
+/// MorphCtr-128 at each scaled cache size (the half-cache claim reuses
+/// the 64 KB and 128 KB runs).
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    for paper_bytes in [64 * 1024, 128 * 1024, 256 * 1024] {
+        let cache = setup.scaled_cache(paper_bytes);
+        for w in Setup::all_workloads() {
+            sweep.sim_with(w, Some(TreeConfig::sc64()), cache, MacMode::Inline);
+            sweep.sim_with(w, Some(TreeConfig::morphtree()), cache, MacMode::Inline);
+        }
+    }
 }

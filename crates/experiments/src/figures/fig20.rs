@@ -8,7 +8,7 @@ use morphtree_core::metadata::MacMode;
 use morphtree_core::tree::TreeConfig;
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::runner::{Lab, Setup};
+use crate::runner::{Lab, Setup, Sweep};
 
 /// Regenerates Fig 20.
 pub fn run(lab: &mut Lab) -> String {
@@ -56,4 +56,16 @@ pub fn run(lab: &mut Lab) -> String {
         pct_delta(morph_inline),
     ));
     out
+}
+
+/// Declares Fig 20's run-set: all 28 workloads under SC-64 and
+/// MorphCtr-128 with separate and in-line MACs.
+pub fn plan(setup: &Setup, sweep: &mut Sweep) {
+    let cache = setup.metadata_cache_bytes();
+    for w in Setup::all_workloads() {
+        sweep.sim_with(w, Some(TreeConfig::sc64()), cache, MacMode::Inline);
+        sweep.sim_with(w, Some(TreeConfig::sc64()), cache, MacMode::Separate);
+        sweep.sim_with(w, Some(TreeConfig::morphtree()), cache, MacMode::Separate);
+        sweep.sim_with(w, Some(TreeConfig::morphtree()), cache, MacMode::Inline);
+    }
 }

@@ -1,6 +1,9 @@
 //! One module per reproduced table/figure. Every module exposes
 //! `run(&mut Lab) -> String`, which regenerates the result and returns the
 //! formatted report (the binaries print it and save it under `results/`).
+//! Modules that simulate also expose `plan(&Setup, &mut Sweep)`, declaring
+//! their full run-set up front so the [`crate::driver`] can batch-prefetch
+//! the union across worker threads before any figure renders.
 
 pub mod extensions;
 pub mod fig05;
@@ -17,6 +20,116 @@ pub mod fig19;
 pub mod fig20;
 pub mod table3;
 
+use crate::runner::{Lab, Setup, Sweep};
+
 /// Instructions per core for the timing-free counter-behaviour studies
 /// (Fig 7/11/14); longer than timing runs so overflow rates stabilize.
 pub const ENGINE_STUDY_INSTRUCTIONS: u64 = 4_000_000;
+
+/// One reproducible artifact: its output name, run-set plan, and renderer.
+pub struct Figure {
+    /// Output name (report saved as `results/<name>.txt`).
+    pub name: &'static str,
+    /// Declares the runs the figure needs (a no-op for analytic figures
+    /// computed without simulation).
+    pub plan: fn(&Setup, &mut Sweep),
+    /// Renders the figure; planned runs are read back from the lab memo.
+    pub run: fn(&mut Lab) -> String,
+}
+
+/// No-op plan for analytic figures (geometry/model computations only).
+fn plan_nothing(_setup: &Setup, _sweep: &mut Sweep) {}
+
+/// Every reproduced figure, in `runall` order.
+#[must_use]
+pub fn catalog() -> Vec<Figure> {
+    vec![
+        Figure { name: "table3", plan: plan_nothing, run: table3::run },
+        Figure { name: "fig17", plan: plan_nothing, run: fig17::run },
+        Figure { name: "fig06", plan: plan_nothing, run: fig06::run },
+        Figure { name: "fig10", plan: plan_nothing, run: fig10::run },
+        Figure { name: "fig15", plan: fig15::plan, run: fig15::run },
+        Figure { name: "fig16", plan: fig16::plan, run: fig16::run },
+        Figure { name: "fig18", plan: fig18::plan, run: fig18::run },
+        Figure { name: "fig05", plan: fig05::plan, run: fig05::run },
+        Figure { name: "fig19", plan: fig19::plan, run: fig19::run },
+        Figure { name: "fig20", plan: fig20::plan, run: fig20::run },
+        Figure { name: "fig07", plan: fig07::plan, run: fig07::run },
+        Figure { name: "fig11", plan: fig11::plan, run: fig11::run },
+        Figure { name: "fig14", plan: fig14::plan, run: fig14::run },
+        Figure { name: "ext_scaling", plan: plan_nothing, run: extensions::scaling },
+        Figure {
+            name: "ext_single_base",
+            plan: extensions::plan_single_base,
+            run: extensions::single_base,
+        },
+        Figure { name: "ext_sgx", plan: extensions::plan_sgx, run: extensions::sgx },
+        Figure {
+            name: "ext_speculation",
+            plan: extensions::plan_speculation,
+            run: extensions::speculation,
+        },
+        Figure {
+            name: "ext_replacement",
+            plan: extensions::plan_replacement,
+            run: extensions::replacement,
+        },
+        Figure { name: "ext_scheduler", plan: plan_nothing, run: extensions::scheduler },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_complete() {
+        let catalog = catalog();
+        assert_eq!(catalog.len(), 19);
+        let mut names: Vec<&str> = catalog.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "duplicate figure names");
+    }
+
+    #[test]
+    fn plans_declare_runs_for_simulating_figures() {
+        let setup = Setup { scale: 256, ..Setup::default() };
+        for figure in catalog() {
+            let mut sweep = Sweep::new();
+            (figure.plan)(&setup, &mut sweep);
+            match figure.name {
+                "table3" | "fig17" | "fig06" | "fig10" | "ext_scaling"
+                | "ext_scheduler" => {
+                    assert!(sweep.is_empty(), "{} should be analytic", figure.name);
+                }
+                _ => {
+                    assert!(!sweep.is_empty(), "{} declared no runs", figure.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runall_union_is_deduplicated_across_figures() {
+        // Fig 15/16/18 share their SC-64/VAULT/MorphCtr runs; the union
+        // plan must collapse them.
+        let setup = Setup::default();
+        let mut union = Sweep::new();
+        for figure in catalog() {
+            (figure.plan)(&setup, &mut union);
+        }
+        let mut separate = 0;
+        for figure in catalog() {
+            let mut sweep = Sweep::new();
+            (figure.plan)(&setup, &mut sweep);
+            separate += sweep.len();
+        }
+        assert!(
+            union.len() < separate,
+            "union {} !< sum of parts {}",
+            union.len(),
+            separate
+        );
+    }
+}

@@ -19,8 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod figures;
 pub mod report;
 pub mod runner;
 
-pub use runner::{Lab, Setup};
+pub use runner::{Lab, Setup, Sweep};

@@ -1,10 +1,35 @@
 //! Shared experiment infrastructure: the scaled operating point, workload
-//! construction by name, and a memoizing run cache so `runall` never
-//! simulates the same configuration twice.
+//! construction by name, a memoizing run cache so `runall` never simulates
+//! the same configuration twice — and a parallel sweep engine that fans
+//! independent runs out across worker threads.
+//!
+//! # Parallel sweeps
+//!
+//! Figures declare the full set of runs they need up front by implementing
+//! a `plan` hook that fills a [`Sweep`]; [`Lab::prefetch`] then executes
+//! every not-yet-memoized run on a work queue over
+//! `std::thread::available_parallelism()` scoped threads. Results land in
+//! the same memo the serial [`Lab::result`] path uses, so figure `run`
+//! functions are unchanged: they read their runs back out of the cache.
+//!
+//! # Determinism
+//!
+//! Parallel execution provably cannot change any result: every run is
+//! keyed by a [`RunKey`]/[`EngineKey`], rebuilds its own
+//! [`SystemWorkload`] from the [`Setup`] seed (per-core RNG streams are
+//! derived from the seed alone), and shares no mutable state with other
+//! runs. Serial and parallel paths call the same [`execute_sim`] /
+//! [`execute_engine`] functions; the `determinism` integration test
+//! asserts byte-identical results per key across thread counts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use morphtree_core::metadata::{EngineStats, MacMode, MetadataEngine};
+use morphtree_core::metadata::{
+    EngineStats, MacMode, MetadataEngine, ReplacementPolicy, VerificationMode,
+};
 use morphtree_core::tree::TreeConfig;
 use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig, SimResult};
 use morphtree_trace::catalog::{Benchmark, MIXES};
@@ -101,21 +126,240 @@ impl Setup {
     }
 }
 
-/// Key identifying one simulation run.
+/// Key identifying one full-system simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct RunKey {
-    workload: String,
-    config: String,
-    cache_bytes: usize,
-    mac: MacMode,
+pub struct RunKey {
+    /// Workload name (Table II benchmark or `mix1`..`mix6`).
+    pub workload: String,
+    /// Tree configuration name (`Non-Secure` for the baseline).
+    pub config: String,
+    /// Metadata-cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// MAC organization.
+    pub mac: MacMode,
+    /// Verification mode (strict vs PoisonIvy-style speculative).
+    pub verification: VerificationMode,
+    /// Metadata-cache victim selection.
+    pub replacement: ReplacementPolicy,
+}
+
+impl RunKey {
+    /// Builds the key for `workload` under `tree` (None = non-secure).
+    #[must_use]
+    pub fn new(
+        workload: &str,
+        tree: Option<&TreeConfig>,
+        cache_bytes: usize,
+        mac: MacMode,
+        verification: VerificationMode,
+        replacement: ReplacementPolicy,
+    ) -> Self {
+        RunKey {
+            workload: workload.to_owned(),
+            config: tree.map_or_else(|| "Non-Secure".to_owned(), |t| t.name().to_owned()),
+            cache_bytes,
+            mac,
+            verification,
+            replacement,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{} / {}", self.workload, self.config)
+    }
 }
 
 /// Key identifying one engine-only (timing-free) run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct EngineKey {
-    workload: String,
-    config: String,
-    instructions: u64,
+pub struct EngineKey {
+    /// Workload name.
+    pub workload: String,
+    /// Tree configuration name.
+    pub config: String,
+    /// Measured instructions per core (warm-up is the same length).
+    pub instructions: u64,
+}
+
+impl EngineKey {
+    /// Builds the key for `workload` under `tree`.
+    #[must_use]
+    pub fn new(workload: &str, tree: &TreeConfig, instructions: u64) -> Self {
+        EngineKey {
+            workload: workload.to_owned(),
+            config: tree.name().to_owned(),
+            instructions,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{} / {} [engine]", self.workload, self.config)
+    }
+}
+
+/// A planned set of runs, collected up front so [`Lab::prefetch`] can
+/// batch them across worker threads.
+///
+/// Duplicate declarations are deduplicated by key, and insertion order is
+/// preserved — the work queue is deterministic for a given plan.
+#[derive(Default)]
+pub struct Sweep {
+    sims: Vec<(RunKey, Option<TreeConfig>)>,
+    sim_keys: HashSet<RunKey>,
+    engines: Vec<(EngineKey, TreeConfig)>,
+    engine_keys: HashSet<EngineKey>,
+}
+
+impl Sweep {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Declares a run at the setup's default cache size, inline MACs,
+    /// strict verification, and LRU replacement — the operating point of
+    /// [`Lab::result`].
+    pub fn sim(&mut self, setup: &Setup, workload: &str, tree: Option<TreeConfig>) {
+        self.sim_with(workload, tree, setup.metadata_cache_bytes(), MacMode::Inline);
+    }
+
+    /// Declares a run with explicit cache size and MAC mode
+    /// ([`Lab::result_with`]'s operating point).
+    pub fn sim_with(
+        &mut self,
+        workload: &str,
+        tree: Option<TreeConfig>,
+        cache_bytes: usize,
+        mac: MacMode,
+    ) {
+        self.sim_full(
+            workload,
+            tree,
+            cache_bytes,
+            mac,
+            VerificationMode::default(),
+            ReplacementPolicy::default(),
+        );
+    }
+
+    /// Declares a run with every key dimension explicit
+    /// ([`Lab::result_full`]'s operating point).
+    pub fn sim_full(
+        &mut self,
+        workload: &str,
+        tree: Option<TreeConfig>,
+        cache_bytes: usize,
+        mac: MacMode,
+        verification: VerificationMode,
+        replacement: ReplacementPolicy,
+    ) {
+        let key = RunKey::new(workload, tree.as_ref(), cache_bytes, mac, verification, replacement);
+        if self.sim_keys.insert(key.clone()) {
+            self.sims.push((key, tree));
+        }
+    }
+
+    /// Declares a timing-free engine run ([`Lab::engine_stats`]'s
+    /// operating point).
+    pub fn engine(&mut self, workload: &str, tree: TreeConfig, instructions: u64) {
+        let key = EngineKey::new(workload, &tree, instructions);
+        if self.engine_keys.insert(key.clone()) {
+            self.engines.push((key, tree));
+        }
+    }
+
+    /// Number of distinct planned runs (simulations + engine studies).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sims.len() + self.engines.len()
+    }
+
+    /// True when nothing is planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty() && self.engines.is_empty()
+    }
+}
+
+/// Executes one full-system simulation for `key`. Both the serial
+/// [`Lab::result_full`] path and the parallel [`Lab::prefetch`] workers
+/// call this, so the two are identical by construction: the workload (and
+/// its RNG streams) is rebuilt from the setup seed on every call.
+#[must_use]
+pub fn execute_sim(setup: &Setup, key: &RunKey, tree: Option<&TreeConfig>) -> SimResult {
+    let mut cfg = setup.sim_config();
+    cfg.metadata_cache_bytes = key.cache_bytes;
+    cfg.mac_mode = key.mac;
+    cfg.verification = key.verification;
+    cfg.replacement = key.replacement;
+    let mut workload = setup.workload(&key.workload);
+    match tree {
+        Some(t) => simulate(&mut workload, t.clone(), &cfg),
+        None => simulate_nonsecure(&mut workload, &cfg),
+    }
+}
+
+/// Executes one timing-free engine study for `key` (warm-up then measure,
+/// round-robin across cores). Shared by the serial and parallel paths.
+#[must_use]
+pub fn execute_engine(setup: &Setup, key: &EngineKey, tree: &TreeConfig) -> EngineStats {
+    let mut workload = setup.workload(&key.workload);
+    let mut engine = MetadataEngine::new(
+        tree.clone(),
+        setup.memory_bytes(),
+        setup.metadata_cache_bytes(),
+        MacMode::Inline,
+    );
+    let mut accesses = Vec::with_capacity(512);
+    let cores = workload.num_cores();
+    for phase in 0..2u8 {
+        if phase == 1 {
+            engine.reset_stats();
+        }
+        let mut instrs = vec![0u64; cores];
+        while instrs.iter().any(|&i| i < key.instructions) {
+            for core in 0..cores {
+                if instrs[core] >= key.instructions {
+                    continue;
+                }
+                let rec = workload.next_record(core);
+                *instrs.get_mut(core).expect("core index") += u64::from(rec.gap) + 1;
+                accesses.clear();
+                if rec.is_write {
+                    engine.write(rec.line, &mut accesses);
+                } else {
+                    engine.read(rec.line, &mut accesses);
+                }
+            }
+        }
+    }
+    engine.stats().clone()
+}
+
+/// Minimum interval between progress lines during a sweep.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Completion counter shared by sweep workers; holding the lock while
+/// printing keeps the output ordered (counts are monotone) and the
+/// interval check keeps it rate-limited.
+struct Progress {
+    done: usize,
+    last_print: Option<Instant>,
+}
+
+impl Progress {
+    fn note(progress: &Mutex<Progress>, total: usize, label: &str) {
+        let mut p = progress.lock().expect("progress lock");
+        p.done += 1;
+        let now = Instant::now();
+        let due = p
+            .last_print
+            .is_none_or(|t| now.duration_since(t) >= PROGRESS_INTERVAL);
+        if due || p.done == total {
+            eprintln!("[sweep {}/{}] {}", p.done, total, label);
+            p.last_print = Some(now);
+        }
+    }
 }
 
 /// A memoizing experiment driver.
@@ -123,6 +367,9 @@ pub struct Lab {
     setup: Setup,
     runs: HashMap<RunKey, SimResult>,
     engine_runs: HashMap<EngineKey, EngineStats>,
+    /// Worker threads for [`Lab::prefetch`]; 0 = automatic
+    /// (`MORPHTREE_THREADS` env var, else `available_parallelism`).
+    threads: usize,
     /// Progress lines are printed when true (default).
     pub verbose: bool,
 }
@@ -131,13 +378,125 @@ impl Lab {
     /// Creates a lab at the given operating point.
     #[must_use]
     pub fn new(setup: Setup) -> Self {
-        Lab { setup, runs: HashMap::new(), engine_runs: HashMap::new(), verbose: true }
+        Lab {
+            setup,
+            runs: HashMap::new(),
+            engine_runs: HashMap::new(),
+            threads: 0,
+            verbose: true,
+        }
     }
 
     /// The operating point.
     #[must_use]
     pub fn setup(&self) -> &Setup {
         &self.setup
+    }
+
+    /// Pins the sweep worker count (0 restores automatic selection).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Worker threads a sweep of `jobs` runs would use: the pinned count
+    /// if set, else `MORPHTREE_THREADS`, else the machine's available
+    /// parallelism — never more than there are jobs.
+    #[must_use]
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        let configured = if self.threads > 0 {
+            self.threads
+        } else {
+            std::env::var("MORPHTREE_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let count = if configured > 0 {
+            configured
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        };
+        count.clamp(1, jobs.max(1))
+    }
+
+    /// Executes every planned run that is not already memoized, fanning
+    /// them out across worker threads, and merges the results into the
+    /// memo — after this, the figure `run` functions find all their runs
+    /// cached and never simulate.
+    ///
+    /// Deterministic by construction: each job rebuilds its workload from
+    /// the setup seed and shares no state with other jobs (see
+    /// [`execute_sim`]), so the results are identical to running the same
+    /// keys serially, in any order, on any thread count.
+    pub fn prefetch(&mut self, sweep: &Sweep) {
+        let sim_jobs: Vec<&(RunKey, Option<TreeConfig>)> = sweep
+            .sims
+            .iter()
+            .filter(|(key, _)| !self.runs.contains_key(key))
+            .collect();
+        let engine_jobs: Vec<&(EngineKey, TreeConfig)> = sweep
+            .engines
+            .iter()
+            .filter(|(key, _)| !self.engine_runs.contains_key(key))
+            .collect();
+        let total = sim_jobs.len() + engine_jobs.len();
+        if total == 0 {
+            return;
+        }
+        let workers = self.worker_count(total);
+        if self.verbose {
+            eprintln!(
+                "[sweep] {} runs ({} sim, {} engine) on {} threads",
+                total,
+                sim_jobs.len(),
+                engine_jobs.len(),
+                workers,
+            );
+        }
+
+        let next = AtomicUsize::new(0);
+        let sim_results: Mutex<HashMap<RunKey, SimResult>> = Mutex::new(HashMap::new());
+        let engine_results: Mutex<HashMap<EngineKey, EngineStats>> =
+            Mutex::new(HashMap::new());
+        let progress = Mutex::new(Progress { done: 0, last_print: None });
+        let setup = &self.setup;
+        let verbose = self.verbose;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let label = if index < sim_jobs.len() {
+                        let (key, tree) = sim_jobs[index];
+                        let result = execute_sim(setup, key, tree.as_ref());
+                        sim_results
+                            .lock()
+                            .expect("sim results lock")
+                            .insert(key.clone(), result);
+                        key.label()
+                    } else {
+                        let (key, tree) = engine_jobs[index - sim_jobs.len()];
+                        let stats = execute_engine(setup, key, tree);
+                        engine_results
+                            .lock()
+                            .expect("engine results lock")
+                            .insert(key.clone(), stats);
+                        key.label()
+                    };
+                    if verbose {
+                        Progress::note(&progress, total, &label);
+                    }
+                });
+            }
+        });
+
+        self.runs
+            .extend(sim_results.into_inner().expect("sim results lock"));
+        self.engine_runs
+            .extend(engine_results.into_inner().expect("engine results lock"));
     }
 
     /// Full-system result for `workload` under `tree` (None = non-secure),
@@ -155,33 +514,39 @@ impl Lab {
         cache_bytes: usize,
         mac: MacMode,
     ) -> &SimResult {
-        let config_name = tree
-            .as_ref()
-            .map_or_else(|| "Non-Secure".to_owned(), |t| t.name().to_owned());
-        let key = RunKey {
-            workload: workload.to_owned(),
-            config: config_name,
+        self.result_full(
+            workload,
+            tree,
             cache_bytes,
             mac,
-        };
+            VerificationMode::default(),
+            ReplacementPolicy::default(),
+        )
+    }
+
+    /// Full-system result with every key dimension explicit (the
+    /// extension studies vary verification and replacement). Memoized.
+    pub fn result_full(
+        &mut self,
+        workload: &str,
+        tree: Option<TreeConfig>,
+        cache_bytes: usize,
+        mac: MacMode,
+        verification: VerificationMode,
+        replacement: ReplacementPolicy,
+    ) -> &SimResult {
+        let key =
+            RunKey::new(workload, tree.as_ref(), cache_bytes, mac, verification, replacement);
         if !self.runs.contains_key(&key) {
             if self.verbose {
                 eprintln!(
-                    "[run] {} / {} (cache {} KB, {:?})",
-                    key.workload,
-                    key.config,
+                    "[run] {} (cache {} KB, {:?})",
+                    key.label(),
                     cache_bytes / 1024,
-                    mac
+                    key.mac,
                 );
             }
-            let mut cfg = self.setup.sim_config();
-            cfg.metadata_cache_bytes = cache_bytes;
-            cfg.mac_mode = mac;
-            let mut w = self.setup.workload(workload);
-            let result = match tree {
-                Some(t) => simulate(&mut w, t, &cfg),
-                None => simulate_nonsecure(&mut w, &cfg),
-            };
+            let result = execute_sim(&self.setup, &key, tree.as_ref());
             self.runs.insert(key.clone(), result);
         }
         &self.runs[&key]
@@ -197,49 +562,27 @@ impl Lab {
         tree: TreeConfig,
         instructions: u64,
     ) -> &EngineStats {
-        let key = EngineKey {
-            workload: workload.to_owned(),
-            config: tree.name().to_owned(),
-            instructions,
-        };
+        let key = EngineKey::new(workload, &tree, instructions);
         if !self.engine_runs.contains_key(&key) {
             if self.verbose {
                 eprintln!("[engine] {} / {}", key.workload, key.config);
             }
-            let mut workload = self.setup.workload(&key.workload);
-            let mut engine = MetadataEngine::new(
-                tree,
-                self.setup.memory_bytes(),
-                self.setup.metadata_cache_bytes(),
-                MacMode::Inline,
-            );
-            let mut accesses = Vec::with_capacity(512);
-            let cores = workload.num_cores();
-            // Warm-up then measure, round-robin across cores.
-            for phase in 0..2u8 {
-                if phase == 1 {
-                    engine.reset_stats();
-                }
-                let mut instrs = vec![0u64; cores];
-                while instrs.iter().any(|&i| i < instructions) {
-                    for core in 0..cores {
-                        if instrs[core] >= instructions {
-                            continue;
-                        }
-                        let rec = workload.next_record(core);
-                        *instrs.get_mut(core).expect("core index") += u64::from(rec.gap) + 1;
-                        accesses.clear();
-                        if rec.is_write {
-                            engine.write(rec.line, &mut accesses);
-                        } else {
-                            engine.read(rec.line, &mut accesses);
-                        }
-                    }
-                }
-            }
-            self.engine_runs.insert(key.clone(), engine.stats().clone());
+            let stats = execute_engine(&self.setup, &key, &tree);
+            self.engine_runs.insert(key.clone(), stats);
         }
         &self.engine_runs[&key]
+    }
+
+    /// All memoized full-system results (for the determinism tests).
+    #[must_use]
+    pub fn sim_results(&self) -> &HashMap<RunKey, SimResult> {
+        &self.runs
+    }
+
+    /// All memoized engine-study results (for the determinism tests).
+    #[must_use]
+    pub fn engine_results(&self) -> &HashMap<EngineKey, EngineStats> {
+        &self.engine_runs
     }
 }
 
@@ -298,5 +641,66 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = quick_setup().workload("not-a-benchmark");
+    }
+
+    #[test]
+    fn sweep_deduplicates_declarations() {
+        let setup = quick_setup();
+        let mut sweep = Sweep::new();
+        assert!(sweep.is_empty());
+        sweep.sim(&setup, "mcf", Some(TreeConfig::sc64()));
+        sweep.sim(&setup, "mcf", Some(TreeConfig::sc64()));
+        sweep.sim_with(
+            "mcf",
+            Some(TreeConfig::sc64()),
+            setup.metadata_cache_bytes(),
+            MacMode::Inline,
+        );
+        assert_eq!(sweep.len(), 1, "identical declarations collapse");
+        sweep.sim(&setup, "mcf", None);
+        sweep.sim_with("mcf", Some(TreeConfig::sc64()), 4096, MacMode::Separate);
+        sweep.engine("mcf", TreeConfig::sc64(), 1000);
+        sweep.engine("mcf", TreeConfig::sc64(), 1000);
+        sweep.engine("mcf", TreeConfig::sc64(), 2000);
+        assert_eq!(sweep.len(), 5);
+    }
+
+    #[test]
+    fn prefetch_populates_the_memo() {
+        let setup = Setup {
+            scale: 256,
+            warmup_instructions: 20_000,
+            measure_instructions: 20_000,
+            seed: 7,
+        };
+        let mut sweep = Sweep::new();
+        sweep.sim(&setup, "libquantum", Some(TreeConfig::sc64()));
+        sweep.sim(&setup, "libquantum", None);
+        sweep.engine("libquantum", TreeConfig::sc64(), 20_000);
+        let mut lab = Lab::new(setup);
+        lab.verbose = false;
+        lab.set_threads(2);
+        lab.prefetch(&sweep);
+        assert_eq!(lab.runs.len(), 2);
+        assert_eq!(lab.engine_runs.len(), 1);
+        // Serving the planned runs hits the memo: no new entries appear.
+        let _ = lab.result("libquantum", Some(TreeConfig::sc64()));
+        let _ = lab.result("libquantum", None);
+        assert_eq!(lab.runs.len(), 2);
+        // Prefetching the same plan again is a no-op.
+        lab.prefetch(&sweep);
+        assert_eq!(lab.runs.len(), 2);
+        assert_eq!(lab.engine_runs.len(), 1);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_jobs() {
+        let mut lab = Lab::new(quick_setup());
+        lab.set_threads(8);
+        assert_eq!(lab.worker_count(3), 3);
+        assert_eq!(lab.worker_count(100), 8);
+        assert_eq!(lab.worker_count(0), 1);
+        lab.set_threads(0);
+        assert!(lab.worker_count(usize::MAX) >= 1);
     }
 }

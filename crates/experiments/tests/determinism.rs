@@ -1,0 +1,115 @@
+//! Determinism regression suite for the parallel sweep engine.
+//!
+//! The guarantee under test: a sweep prefetched across worker threads
+//! produces *byte-identical* results to the same sweep run serially, and
+//! the same `Setup::seed` reproduces identical `EngineStats` across
+//! independent labs. Both hold by construction — every run rebuilds its
+//! workload from the setup seed and executes through the same
+//! `execute_sim`/`execute_engine` path — and this suite keeps it that way.
+
+use morphtree_core::tree::TreeConfig;
+use morphtree_experiments::figures;
+use morphtree_experiments::{Lab, Setup, Sweep};
+
+/// A heavily scaled-down operating point so the suite stays fast while
+/// still exercising allocation sparsity, cache pressure, and overflows.
+fn tiny_setup() -> Setup {
+    Setup { scale: 256, warmup_instructions: 20_000, measure_instructions: 20_000, seed: 7 }
+}
+
+/// A representative run-set: a real figure's plan (ext_sgx: a 7-workload
+/// subset under two tree configs) plus a non-secure baseline and two
+/// engine studies, so every executor job kind is covered.
+fn representative_sweep(setup: &Setup) -> Sweep {
+    let mut sweep = Sweep::new();
+    let sgx = figures::catalog()
+        .into_iter()
+        .find(|f| f.name == "ext_sgx")
+        .expect("ext_sgx in catalog");
+    (sgx.plan)(setup, &mut sweep);
+    sweep.sim(setup, "mcf", None);
+    sweep.engine("mcf", TreeConfig::morphtree(), 20_000);
+    sweep.engine("libquantum", TreeConfig::sc64(), 20_000);
+    sweep
+}
+
+fn prefetched_lab(threads: usize) -> Lab {
+    let setup = tiny_setup();
+    let sweep = representative_sweep(&setup);
+    assert!(!sweep.is_empty());
+    let mut lab = Lab::new(setup);
+    lab.verbose = false;
+    lab.set_threads(threads);
+    lab.prefetch(&sweep);
+    lab
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_byte_identical() {
+    let serial = prefetched_lab(1);
+    let parallel = prefetched_lab(4);
+
+    assert_eq!(serial.sim_results().len(), parallel.sim_results().len());
+    assert!(!serial.sim_results().is_empty());
+    for (key, result) in serial.sim_results() {
+        let other = parallel
+            .sim_results()
+            .get(key)
+            .unwrap_or_else(|| panic!("parallel sweep missing {key:?}"));
+        // SimResult is PartialEq over every field, f64 cycle counts and
+        // energy included: equality here means byte-identical results.
+        assert_eq!(other, result, "diverged on {key:?}");
+    }
+
+    assert_eq!(serial.engine_results().len(), parallel.engine_results().len());
+    assert!(!serial.engine_results().is_empty());
+    for (key, stats) in serial.engine_results() {
+        let other = parallel
+            .engine_results()
+            .get(key)
+            .unwrap_or_else(|| panic!("parallel sweep missing {key:?}"));
+        assert_eq!(other, stats, "diverged on {key:?}");
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_engine_stats() {
+    let mut first = Lab::new(tiny_setup());
+    let mut second = Lab::new(tiny_setup());
+    first.verbose = false;
+    second.verbose = false;
+
+    let a = first.engine_stats("omnetpp", TreeConfig::morphtree(), 20_000).clone();
+    let b = second.engine_stats("omnetpp", TreeConfig::morphtree(), 20_000).clone();
+    assert_eq!(a, b, "same seed must reproduce identical EngineStats");
+
+    // Teeth: a different seed must actually change the access stream.
+    let mut reseeded = Lab::new(Setup { seed: 8, ..tiny_setup() });
+    reseeded.verbose = false;
+    let c = reseeded.engine_stats("omnetpp", TreeConfig::morphtree(), 20_000).clone();
+    assert_ne!(a, c, "seed is not reaching the workload RNG");
+}
+
+#[test]
+fn prefetched_results_match_the_serial_api_path() {
+    // The on-demand serial path (`Lab::result`) and the prefetched
+    // parallel path must agree run-for-run…
+    let mut on_demand = Lab::new(tiny_setup());
+    on_demand.verbose = false;
+    let serial = on_demand.result("gcc", Some(TreeConfig::sc64())).clone();
+
+    let setup = tiny_setup();
+    let mut sweep = Sweep::new();
+    sweep.sim(&setup, "gcc", Some(TreeConfig::sc64()));
+    let mut prefetched = Lab::new(setup);
+    prefetched.verbose = false;
+    prefetched.set_threads(4);
+    prefetched.prefetch(&sweep);
+
+    let runs_before = prefetched.sim_results().len();
+    assert_eq!(runs_before, 1);
+    let fetched = prefetched.result("gcc", Some(TreeConfig::sc64())).clone();
+    assert_eq!(fetched, serial);
+    // …and reading it back must be served from the memo, not re-run.
+    assert_eq!(prefetched.sim_results().len(), runs_before);
+}

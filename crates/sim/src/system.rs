@@ -66,7 +66,10 @@ impl Default for SimConfig {
 }
 
 /// Results of one simulation.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the experiment layer's determinism tests can
+/// assert that serial and parallel sweeps produce identical results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,
@@ -368,5 +371,16 @@ mod tests {
             1,
         );
         let _ = simulate(&mut w, TreeConfig::sc64(), &cfg);
+    }
+
+    #[test]
+    fn simulation_types_are_send() {
+        // The parallel sweep engine runs `simulate` on worker threads:
+        // configs cross the spawn boundary and results cross back.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<SimConfig>();
+        assert_sync::<SimConfig>();
+        assert_send::<SimResult>();
     }
 }

@@ -437,4 +437,15 @@ mod tests {
         }
         assert!(stream_writes.len() > 20_000, "{}", stream_writes.len());
     }
+
+    #[test]
+    fn workloads_are_send() {
+        // The parallel sweep engine in `morphtree-experiments` builds a
+        // `SystemWorkload` per worker thread; everything here must be
+        // owned data with no hidden shared state.
+        fn assert_send<T: Send>() {}
+        assert_send::<SystemWorkload>();
+        assert_send::<crate::io::RecordedTrace>();
+        assert_send::<TraceRecord>();
+    }
 }

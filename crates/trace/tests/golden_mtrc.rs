@@ -1,0 +1,91 @@
+//! Golden-file pinning of the `MTRC` trace format.
+//!
+//! The checked-in fixture (`tests/data/milc-2core-seed5.mtrc`) was captured
+//! from `milc` on 2 cores over 1 GB with seed 5, 48 records per core. The
+//! suite asserts three things against it:
+//!
+//! 1. the on-disk layout matches the documented format byte for byte
+//!    (magic/version/header fields at fixed offsets, 14-byte records);
+//! 2. re-capturing the same workload reproduces the fixture *exactly* —
+//!    any drift in the serializer or the synthetic-trace RNG fails here;
+//! 3. replaying the fixture yields the same record stream as the live
+//!    source it was captured from.
+//!
+//! If a deliberate format change lands, regenerate with
+//! `cargo test -p morphtree-trace --test golden_mtrc -- --ignored`.
+
+use morphtree_trace::catalog::Benchmark;
+use morphtree_trace::io::RecordedTrace;
+use morphtree_trace::workload::{RecordSource, SystemWorkload};
+
+const FIXTURE_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/milc-2core-seed5.mtrc");
+const CORES: usize = 2;
+const RECORDS_PER_CORE: usize = 48;
+/// Header: magic (4) + version (4) + cores (4) + name len (4) + "milc" (4).
+const HEADER_BYTES: usize = 20;
+/// Record: core (1) + flags (1) + gap (4) + line (8).
+const RECORD_BYTES: usize = 14;
+
+fn live_workload() -> SystemWorkload {
+    SystemWorkload::rate(Benchmark::by_name("milc").unwrap(), CORES, 1 << 30, 5)
+}
+
+fn fixture() -> Vec<u8> {
+    std::fs::read(FIXTURE_PATH)
+        .unwrap_or_else(|e| panic!("missing fixture {FIXTURE_PATH}: {e}"))
+}
+
+#[test]
+fn header_layout_matches_the_spec() {
+    let bytes = fixture();
+    assert_eq!(&bytes[0..4], b"MTRC", "magic");
+    assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1, "version");
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), CORES as u32);
+    assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 4, "name length");
+    assert_eq!(&bytes[16..20], b"milc");
+    assert_eq!(bytes.len(), HEADER_BYTES + CORES * RECORDS_PER_CORE * RECORD_BYTES);
+}
+
+#[test]
+fn capture_reproduces_the_fixture_byte_for_byte() {
+    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE);
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).unwrap();
+    assert_eq!(
+        bytes,
+        fixture(),
+        "MTRC byte stream changed: serializer or trace-RNG drift \
+         (regenerate the fixture only for a deliberate format change)"
+    );
+}
+
+#[test]
+fn replayed_fixture_matches_the_live_source() {
+    let mut replay = RecordedTrace::load(FIXTURE_PATH).unwrap();
+    assert_eq!(replay.name(), "milc");
+    assert_eq!(replay.num_cores(), CORES);
+    for core in 0..CORES {
+        assert_eq!(replay.len(core), RECORDS_PER_CORE);
+    }
+
+    let mut live = live_workload();
+    for core in 0..CORES {
+        for i in 0..RECORDS_PER_CORE {
+            assert_eq!(
+                RecordSource::next_record(&mut replay, core),
+                live.next_record(core),
+                "record {i} of core {core} diverged"
+            );
+        }
+    }
+}
+
+/// Regenerates the fixture; run explicitly after a deliberate format change
+/// (`cargo test -p morphtree-trace --test golden_mtrc -- --ignored`).
+#[test]
+#[ignore = "writes tests/data/milc-2core-seed5.mtrc"]
+fn regenerate_fixture() {
+    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE);
+    trace.save(FIXTURE_PATH).unwrap();
+}

@@ -107,7 +107,7 @@ fn dram_backends_agree_on_an_uncontended_stream() {
     let mut at = 0u64;
     for i in 0..200u64 {
         at += 1000; // far beyond any service time
-        let addr = (i * 7919 * 64) % (1 << 30) & !63;
+        let addr = ((i * 7919 * 64) % (1 << 30)) & !63;
         let fast_done = fast.request(at, addr, i % 4 == 0);
         let id = queued.enqueue(at, addr, i % 4 == 0);
         let queued_done = queued.complete(id);
