@@ -7,7 +7,9 @@
 //! - `capture` / `replay` — record a workload to an `MTRC` trace file and
 //!   drive the simulator from it;
 //! - `sweep` — regenerate paper figures with the parallel sweep engine;
-//! - `attack` — functional tamper/replay demonstration;
+//! - `attack` — seeded fault-injection campaign against the functional
+//!   model: randomized tamper/replay/splice attacks on every tree config,
+//!   asserting 100% detection at the right tree location;
 //! - `list` — available workloads and tree configurations.
 //!
 //! Argument parsing is hand-rolled (`--key value` flags) to keep the
@@ -19,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use morphtree_core::functional::SecureMemory;
+use morphtree_core::attack::{campaign_configs, run_campaign, CampaignConfig};
 use morphtree_core::tree::{TreeConfig, TreeGeometry};
 use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig};
 use morphtree_trace::catalog::{Benchmark, MIXES};
@@ -115,10 +117,10 @@ pub fn tree_by_name(name: &str) -> Result<TreeConfig, CliError> {
         "sc64" => Ok(TreeConfig::sc64()),
         "sc128" => Ok(TreeConfig::sc128()),
         "morph" | "morphtree" => Ok(TreeConfig::morphtree()),
-        "morph-zcc" => Ok(TreeConfig::morphtree_zcc_only()),
-        "morph-single-base" => Ok(TreeConfig::morphtree_single_base()),
+        "zcc" | "morph-zcc" => Ok(TreeConfig::morphtree_zcc_only()),
+        "mcr" | "morph-single-base" => Ok(TreeConfig::morphtree_single_base()),
         other => Err(err(format!(
-            "unknown config `{other}` (try: sgx, vault, sc64, sc128, morph, morph-zcc, morph-single-base)"
+            "unknown config `{other}` (try: sgx, vault, sc64, sc128, morph, zcc, mcr)"
         ))),
     }
 }
@@ -138,7 +140,8 @@ pub fn usage() -> String {
      \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
      \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
      \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
-     \x20 attack    [--config morph]\n\
+     \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
+     \x20           [--memory-kib 1024] [--lines 96]\n\
      \x20 list\n\
      \x20 help\n"
         .to_owned()
@@ -280,7 +283,8 @@ fn cmd_capture(flags: &Flags) -> Result<String, CliError> {
     let cores = flags.number_or("cores", 4)? as usize;
     let (cfg, scale, seed) = sim_config(flags)?;
     let mut workload = workload_by_name(name, cores, cfg.memory_bytes, seed, scale)?;
-    let trace = RecordedTrace::capture(&mut workload, records);
+    let trace = RecordedTrace::capture(&mut workload, records)
+        .map_err(|e| err(format!("cannot capture `{name}`: {e}")))?;
     trace
         .save(path)
         .map_err(|e| err(format!("cannot write {path}: {e}")))?;
@@ -324,37 +328,73 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let threads = flags.number_or("threads", 0)? as usize;
     let mut lab = Lab::new(setup);
     lab.set_threads(threads);
-    driver::run_figures(&mut lab, &names).map_err(err)?;
-    Ok(format!(
-        "sweep complete: {} figure(s) regenerated under results/ ({} simulations, {} engine studies memoized)\n",
+    let outcome = driver::run_figures(&mut lab, &names).map_err(err)?;
+    let mut out = String::new();
+    if let Some(summary) = outcome.failure_summary() {
+        out.push_str(&summary);
+        out.push('\n');
+    }
+    let rendered = names.len() - outcome.failed_figures.len();
+    writeln!(
+        out,
+        "sweep complete: {rendered}/{} figure(s) regenerated under results/ \
+         ({} simulations, {} engine studies memoized)",
         names.len(),
         lab.sim_results().len(),
         lab.engine_results().len(),
-    ))
+    )
+    .expect("write to string");
+    Ok(out)
 }
 
 fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
-    let tree = tree_by_name(flags.get_or("config", "morph"))?;
-    let mut out = format!("functional attack demo on {}\n\n", tree.name());
-    let mut memory = SecureMemory::new(tree, 1 << 20, *b"morphtree-cli-k!");
-    memory.write(1, &[0x41; 64]);
-    assert_eq!(memory.read(1).expect("verified"), [0x41; 64]);
-    out.push_str("write/read round-trip: OK\n");
-
-    memory.tamper_raw(1, 5, 0xff);
-    match memory.read(1) {
-        Err(e) => writeln!(out, "bit-flip tampering:    detected ({e})").expect("write"),
-        Ok(_) => return Err(err("tampering was NOT detected — this is a bug".to_owned())),
+    let campaign = CampaignConfig {
+        seed: flags.number_or("seed", 42)?,
+        count: flags.number_or("count", 100)? as usize,
+        memory_bytes: flags.number_or("memory-kib", 1024)? << 10,
+        working_lines: flags.number_or("lines", 96)?,
+    };
+    if campaign.count == 0 {
+        return Err(err("--count must be positive"));
     }
-    memory.write(1, &[0x42; 64]);
-    let stale = memory.snapshot(1);
-    memory.write(1, &[0x43; 64]);
-    memory.replay(&stale);
-    match memory.read(1) {
-        Err(e) => writeln!(out, "replay attack:         detected ({e})").expect("write"),
-        Ok(_) => return Err(err("replay was NOT detected — this is a bug".to_owned())),
+    let targets: Vec<(String, TreeConfig)> = match flags.get_or("config", "paper") {
+        "paper" | "all" => campaign_configs()
+            .into_iter()
+            .map(|(name, tree)| (name.to_owned(), tree))
+            .collect(),
+        name => vec![(name.to_owned(), tree_by_name(name)?)],
+    };
+    let mut out = String::new();
+    let mut missed = Vec::new();
+    for (name, tree) in &targets {
+        let report = run_campaign(tree, &campaign)
+            .map_err(|e| err(format!("campaign on `{name}` failed: {e}")))?;
+        out.push_str(&report.render());
+        out.push('\n');
+        if !report.all_detected() {
+            missed.push(format!(
+                "{name}: {}/{} detected ({})",
+                report.total_detected(),
+                report.total_attempts(),
+                report.first_miss().unwrap_or("miss unrecorded"),
+            ));
+        }
     }
-    Ok(out)
+    if missed.is_empty() {
+        writeln!(
+            out,
+            "campaign verdict: {} attack(s) x {} config(s), all detected at the expected tree location",
+            campaign.count,
+            targets.len(),
+        )
+        .expect("write to string");
+        Ok(out)
+    } else {
+        Err(err(format!(
+            "INTEGRITY HOLE: undetected tampering!\n{}",
+            missed.join("\n")
+        )))
+    }
 }
 
 fn cmd_list() -> String {
@@ -373,7 +413,7 @@ fn cmd_list() -> String {
         out.push(' ');
     }
     out.push_str(
-        "\nconfigs: sgx vault sc64 sc128 morph morph-zcc morph-single-base\n",
+        "\nconfigs: sgx vault sc64 sc128 morph zcc mcr\n",
     );
     out
 }
@@ -411,6 +451,8 @@ mod tests {
     fn tree_names_resolve() {
         assert_eq!(tree_by_name("morph").unwrap().name(), "MorphCtr-128");
         assert_eq!(tree_by_name("sc64").unwrap().name(), "SC-64");
+        assert_eq!(tree_by_name("zcc").unwrap().name(), "MorphCtr-128 (ZCC-only)");
+        assert_eq!(tree_by_name("mcr").unwrap().name(), "MorphCtr-128 (single-base)");
         assert!(tree_by_name("bogus").is_err());
     }
 
@@ -423,10 +465,34 @@ mod tests {
     }
 
     #[test]
-    fn attack_command_detects_both_attacks() {
-        let out = run("attack", &[]).unwrap();
-        assert!(out.contains("bit-flip tampering:    detected"));
-        assert!(out.contains("replay attack:         detected"));
+    fn attack_command_runs_the_paper_campaign() {
+        // 14 attacks = 2 per class; the five paper configs by default.
+        let out = run("attack", &strs(&["--count", "14"])).unwrap();
+        for config in ["SC-64", "VAULT", "MorphCtr-128 (ZCC-only)",
+                       "MorphCtr-128 (single-base)", "MorphCtr-128"] {
+            assert!(out.contains(&format!("attack campaign · {config}")), "{out}");
+        }
+        assert!(out.contains("stale-replay"), "{out}");
+        assert!(
+            out.contains("campaign verdict: 14 attack(s) x 5 config(s), all detected"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn attack_command_is_deterministic_and_takes_a_config() {
+        let args = strs(&["--seed", "9", "--count", "21", "--config", "morphtree"]);
+        let first = run("attack", &args).unwrap();
+        let second = run("attack", &args).unwrap();
+        assert_eq!(first, second);
+        assert!(first.contains("seed 9 · 21 attacks"), "{first}");
+        assert!(!first.contains("SC-64"), "single-config run: {first}");
+    }
+
+    #[test]
+    fn attack_command_rejects_bad_flags() {
+        assert!(run("attack", &strs(&["--count", "0"])).is_err());
+        assert!(run("attack", &strs(&["--config", "bogus"])).is_err());
     }
 
     #[test]
@@ -448,7 +514,7 @@ mod tests {
         // ext_scaling is analytic (no simulations), so this exercises the
         // full plan/prefetch/render path in milliseconds.
         let out = run("sweep", &strs(&["--figure", "ext_scaling"])).unwrap();
-        assert!(out.contains("sweep complete: 1 figure(s)"), "{out}");
+        assert!(out.contains("sweep complete: 1/1 figure(s)"), "{out}");
     }
 
     #[test]

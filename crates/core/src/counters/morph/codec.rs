@@ -30,6 +30,10 @@ pub fn encode(line: &MorphLine, with_mac: bool) -> [u8; CACHELINE_BYTES] {
     match line.format {
         MorphFormat::Zcc => {
             let nonzero = line.values.iter().filter(|&&v| v != 0).count();
+            // The ZCC format invariant (at most 64 non-zero minors) is
+            // maintained by every increment path; encoding a violating line
+            // must fail loudly, not emit a corrupt image.
+            #[allow(clippy::expect_used)]
             let width = zcc_width(nonzero).expect("ZCC format implies <= 64 non-zero") as usize;
             set_bits(&mut image, 0, 1, 0);
             set_bits(&mut image, 1, 6, width as u64);
@@ -111,6 +115,11 @@ pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
             nonzero_slots.push(slot);
         }
     }
+    // A decode is only reached for images this codec produced (the
+    // functional memory tampers *semantically*, never on raw counter
+    // images); an over-populated bit-vector means memory corruption and
+    // must stay a loud failure.
+    #[allow(clippy::expect_used)]
     let width = zcc_width(nonzero_slots.len()).expect("bit-vector population <= 64") as usize;
     assert_eq!(
         width as u64, ctr_sz,

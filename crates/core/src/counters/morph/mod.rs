@@ -196,7 +196,7 @@ impl MorphLine {
     }
 
     fn max_value(&self) -> u64 {
-        *self.values.iter().max().expect("non-empty") as u64
+        self.values.iter().copied().max().unwrap_or(0) as u64
     }
 
     /// Full reset from ZCC/Uniform: advance the major past every issued
@@ -283,7 +283,7 @@ impl MorphLine {
         let mut new_bases = [base_init; 2];
         for set in 0..2 {
             let range = set * MCR_SET..(set + 1) * MCR_SET;
-            let max_set = *self.values[range].iter().max().expect("set") as u64;
+            let max_set = self.values[range].iter().copied().max().unwrap_or(0) as u64;
             if max_set > MINOR3_MAX {
                 let bumped = base_init + max_set + 1;
                 if bumped > BASE_MAX {
@@ -332,7 +332,7 @@ impl MorphLine {
         if self.mode == MorphMode::SingleBase {
             // Footnote 5: the major doubles as the (unbounded 57-bit) base;
             // rebase the whole line when every minor is non-zero.
-            let min = *self.values.iter().min().expect("non-empty") as u64;
+            let min = self.values.iter().copied().min().unwrap_or(0) as u64;
             if min > 0 {
                 self.major += min;
                 for v in self.values.iter_mut() {
@@ -353,7 +353,7 @@ impl MorphLine {
 
         let set = slot / MCR_SET;
         let range = set * MCR_SET..(set + 1) * MCR_SET;
-        let min_set = *self.values[range.clone()].iter().min().expect("set") as u64;
+        let min_set = self.values[range.clone()].iter().copied().min().unwrap_or(0) as u64;
 
         if min_set > 0 {
             // Rebase (Fig 12): slide the base forward by the smallest minor;
@@ -383,7 +383,7 @@ impl MorphLine {
             return self.full_reset_from_mcr(slot, OverflowKind::FullReset);
         }
         let used = self.nonzero();
-        let max_set = *self.values[range.clone()].iter().max().expect("set") as u64;
+        let max_set = self.values[range.clone()].iter().copied().max().unwrap_or(0) as u64;
         let new_base = self.bases[set] + max_set + 1;
         if new_base > BASE_MAX {
             return self.full_reset_from_mcr(slot, OverflowKind::BaseOverflow);

@@ -22,6 +22,13 @@ pub enum IntegrityError {
         /// Index of the counter line within its level.
         line_idx: u64,
     },
+    /// A data cacheline has stored ciphertext but no stored MAC. A missing
+    /// MAC is a verification failure in its own right — it must never be
+    /// treated as "MAC = 0", which an adversary could trivially forge.
+    MissingMac {
+        /// Line address of the offending data cacheline.
+        line_addr: u64,
+    },
 }
 
 impl fmt::Display for IntegrityError {
@@ -36,11 +43,80 @@ impl fmt::Display for IntegrityError {
                     "counter MAC verification failed at tree level {level}, line {line_idx}"
                 )
             }
+            IntegrityError::MissingMac { line_addr } => {
+                write!(f, "no stored MAC for written data line {line_addr:#x}")
+            }
         }
     }
 }
 
 impl Error for IntegrityError {}
+
+/// Raised by the [`crate::functional::SecureMemory`] adversary hooks when an
+/// attack cannot be mounted because the targeted off-chip state does not
+/// exist (e.g. tampering a line that was never written).
+///
+/// These are harness errors, not security events: a returned `TamperError`
+/// means the attack was a no-op, not that it went undetected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperError {
+    /// The targeted data line has never been written, so there is no
+    /// off-chip ciphertext or MAC to corrupt.
+    NeverWritten {
+        /// Index of the targeted data line.
+        data_line: u64,
+    },
+    /// The targeted counter line has never been materialized off-chip.
+    NoCounterLine {
+        /// Tree level (0 = encryption counters).
+        level: usize,
+        /// Index of the counter line within its level.
+        line_idx: u64,
+    },
+    /// The targeted tree level does not exist in this geometry.
+    NoSuchLevel {
+        /// The requested level.
+        level: usize,
+        /// Number of levels in the tree.
+        levels: usize,
+    },
+    /// The byte offset is outside the 64-byte cacheline.
+    OffsetOutOfRange {
+        /// The requested byte offset.
+        offset: usize,
+    },
+    /// The counter slot is outside the line's arity.
+    SlotOutOfRange {
+        /// The requested slot.
+        slot: usize,
+        /// The line's arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for TamperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperError::NeverWritten { data_line } => {
+                write!(f, "cannot tamper never-written data line {data_line}")
+            }
+            TamperError::NoCounterLine { level, line_idx } => {
+                write!(f, "no counter line {line_idx} at tree level {level}")
+            }
+            TamperError::NoSuchLevel { level, levels } => {
+                write!(f, "tree level {level} does not exist ({levels} levels)")
+            }
+            TamperError::OffsetOutOfRange { offset } => {
+                write!(f, "byte offset {offset} outside the 64-byte line")
+            }
+            TamperError::SlotOutOfRange { slot, arity } => {
+                write!(f, "counter slot {slot} outside arity {arity}")
+            }
+        }
+    }
+}
+
+impl Error for TamperError {}
 
 #[cfg(test)]
 mod tests {
@@ -58,5 +134,22 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<IntegrityError>();
+        assert_send_sync::<TamperError>();
+    }
+
+    #[test]
+    fn missing_mac_and_tamper_errors_display() {
+        let e = IntegrityError::MissingMac { line_addr: 0x80 };
+        assert!(e.to_string().contains("no stored MAC"), "{e}");
+        let e = TamperError::NeverWritten { data_line: 7 };
+        assert_eq!(e.to_string(), "cannot tamper never-written data line 7");
+        let e = TamperError::NoCounterLine { level: 1, line_idx: 3 };
+        assert!(e.to_string().contains("level 1"), "{e}");
+        let e = TamperError::NoSuchLevel { level: 9, levels: 3 };
+        assert!(e.to_string().contains("9"), "{e}");
+        let e = TamperError::OffsetOutOfRange { offset: 64 };
+        assert!(e.to_string().contains("64"), "{e}");
+        let e = TamperError::SlotOutOfRange { slot: 130, arity: 128 };
+        assert!(e.to_string().contains("130"), "{e}");
     }
 }

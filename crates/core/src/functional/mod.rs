@@ -28,7 +28,7 @@
 //! assert_eq!(mem.read(3).unwrap(), [0xab; 64]);
 //!
 //! // An adversary flips a bit in DRAM: the next read detects it.
-//! mem.tamper_raw(3, 0, 0x01);
+//! mem.tamper_raw(3, 0, 0x01).unwrap();
 //! assert!(mem.read(3).is_err());
 //! ```
 
@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use morphtree_crypto::{CtrModeCipher, MacKey};
 
 use crate::counters::{CounterLine, IncrementOutcome, Line};
-use crate::error::IntegrityError;
+use crate::error::{IntegrityError, TamperError};
 use crate::tree::{TreeConfig, TreeGeometry};
 use crate::CACHELINE_BYTES;
 
@@ -54,7 +54,11 @@ pub struct LineSnapshot {
 
 /// A byte-level secure memory with encryption, integrity and replay
 /// protection over a configurable integrity tree.
-#[derive(Debug)]
+///
+/// `Clone` is cheap enough for testing: the attack campaign runner clones a
+/// prepared victim state once per attack so attacks never contaminate each
+/// other.
+#[derive(Debug, Clone)]
 pub struct SecureMemory {
     config: TreeConfig,
     geometry: TreeGeometry,
@@ -249,7 +253,12 @@ impl SecureMemory {
         let addr = self.data_addr(data_line);
         let counter = self.counter_of(data_line);
         let expect = self.mac_key.mac_line(addr, counter, ciphertext).0;
-        let stored = self.data_macs.get(&data_line).copied().unwrap_or(0);
+        // A written line must have a stored MAC. Treating a missing MAC as
+        // "0" would hand an adversary a trivially forgeable sentinel value;
+        // make the inconsistency a verification failure instead.
+        let Some(&stored) = self.data_macs.get(&data_line) else {
+            return Err(IntegrityError::MissingMac { line_addr: addr });
+        };
         if stored != expect {
             return Err(IntegrityError::DataMac { line_addr: addr });
         }
@@ -279,65 +288,184 @@ impl SecureMemory {
 
     // ------------------------------------------------------------------
     // Adversary interface (what physical access to DRAM permits).
+    //
+    // Every hook returns a typed error instead of panicking, so campaign
+    // runners (`crate::attack`) can fire thousands of randomized attacks
+    // without ever bringing the harness down.
     // ------------------------------------------------------------------
 
     /// Flips bits in the stored ciphertext of `data_line` by XORing `mask`
     /// into byte `offset` — a physical tampering attack.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the line has never been written or `offset >= 64`.
-    pub fn tamper_raw(&mut self, data_line: u64, offset: usize, mask: u8) {
+    /// Returns [`TamperError`] if the line has never been written (nothing
+    /// is stored off-chip) or `offset >= 64`.
+    pub fn tamper_raw(
+        &mut self,
+        data_line: u64,
+        offset: usize,
+        mask: u8,
+    ) -> Result<(), TamperError> {
+        if offset >= CACHELINE_BYTES {
+            return Err(TamperError::OffsetOutOfRange { offset });
+        }
         let line = self
             .data
             .get_mut(&data_line)
-            .expect("cannot tamper a never-written line");
+            .ok_or(TamperError::NeverWritten { data_line })?;
         line[offset] ^= mask;
+        Ok(())
     }
 
-    /// Corrupts the stored MAC of a data line.
+    /// Corrupts the stored MAC of a data line by XORing `mask` into it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the line has never been written.
-    pub fn tamper_mac(&mut self, data_line: u64, mask: u64) {
+    /// Returns [`TamperError::NeverWritten`] if the line has no stored MAC.
+    pub fn tamper_mac(&mut self, data_line: u64, mask: u64) -> Result<(), TamperError> {
         let mac = self
             .data_macs
             .get_mut(&data_line)
-            .expect("cannot tamper a never-written line");
+            .ok_or(TamperError::NeverWritten { data_line })?;
         *mac ^= mask;
+        Ok(())
     }
 
-    /// Flips bits in a stored counter line at `level` (a metadata
-    /// tampering attack).
+    /// Tampers a stored counter line at `level` by advancing its first
+    /// counter without authorization (shorthand for
+    /// [`SecureMemory::tamper_counter_slot`] on slot 0).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the line does not exist.
-    pub fn tamper_counter(&mut self, level: usize, line_idx: u64) {
-        let line = self.levels[level]
+    /// Returns [`TamperError`] if the level or line does not exist.
+    pub fn tamper_counter(&mut self, level: usize, line_idx: u64) -> Result<(), TamperError> {
+        self.tamper_counter_slot(level, line_idx, 0)
+    }
+
+    /// Changes the effective value of counter `slot` in a stored counter
+    /// line — the semantic effect of a bit flip landing in that counter's
+    /// value field. (A decode-free bit attack is equivalent to replacing
+    /// the line; emulate by incrementing, which provably changes the slot's
+    /// effective value.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] if the level, line, or slot does not exist.
+    pub fn tamper_counter_slot(
+        &mut self,
+        level: usize,
+        line_idx: u64,
+        slot: usize,
+    ) -> Result<(), TamperError> {
+        let levels = self.levels.len();
+        let line = self
+            .levels
+            .get_mut(level)
+            .ok_or(TamperError::NoSuchLevel { level, levels })?
             .get_mut(&line_idx)
-            .expect("counter line does not exist");
-        // Advance a counter without authorization: decode-free bit attack
-        // is equivalent to replacing the line; emulate by incrementing.
-        let _ = line.increment(0);
+            .ok_or(TamperError::NoCounterLine { level, line_idx })?;
+        if slot >= line.arity() {
+            return Err(TamperError::SlotOutOfRange { slot, arity: line.arity() });
+        }
+        let _ = line.increment(slot);
+        Ok(())
+    }
+
+    /// Flips bits in the stored MAC field of a counter line at `level` — a
+    /// literal bit flip in the final eight bytes of the line's 64-byte
+    /// off-chip image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] if the level or line does not exist.
+    pub fn tamper_counter_mac(
+        &mut self,
+        level: usize,
+        line_idx: u64,
+        mask: u64,
+    ) -> Result<(), TamperError> {
+        let levels = self.levels.len();
+        let line = self
+            .levels
+            .get_mut(level)
+            .ok_or(TamperError::NoSuchLevel { level, levels })?
+            .get_mut(&line_idx)
+            .ok_or(TamperError::NoCounterLine { level, line_idx })?;
+        let mac = line.mac();
+        line.set_mac(mac ^ mask);
+        Ok(())
+    }
+
+    /// Swaps the stored `{ciphertext, MAC}` of two data lines — a cross-line
+    /// splice attack: both tuples are individually authentic, but each is
+    /// now bound to the wrong address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError::NeverWritten`] if either line has never been
+    /// written.
+    pub fn splice(&mut self, line_a: u64, line_b: u64) -> Result<(), TamperError> {
+        if !self.data.contains_key(&line_a) {
+            return Err(TamperError::NeverWritten { data_line: line_a });
+        }
+        if !self.data.contains_key(&line_b) {
+            return Err(TamperError::NeverWritten { data_line: line_b });
+        }
+        if line_a == line_b {
+            return Ok(());
+        }
+        let ct_a = self.data[&line_a];
+        let ct_b = self.data[&line_b];
+        self.data.insert(line_a, ct_b);
+        self.data.insert(line_b, ct_a);
+        let mac_a = self.data_macs.get(&line_a).copied();
+        let mac_b = self.data_macs.get(&line_b).copied();
+        match (mac_a, mac_b) {
+            (Some(a), Some(b)) => {
+                self.data_macs.insert(line_a, b);
+                self.data_macs.insert(line_b, a);
+            }
+            // A written line always has a MAC; tolerate asymmetry anyway so
+            // the splice hook itself can never corrupt harness state.
+            (Some(a), None) => {
+                self.data_macs.remove(&line_a);
+                self.data_macs.insert(line_b, a);
+            }
+            (None, Some(b)) => {
+                self.data_macs.insert(line_a, b);
+                self.data_macs.remove(&line_b);
+            }
+            (None, None) => {}
+        }
+        Ok(())
     }
 
     /// Captures the full off-chip state associated with a data line:
     /// ciphertext, MAC and the covering encryption-counter line.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the line has never been written.
-    #[must_use]
-    pub fn snapshot(&self, data_line: u64) -> LineSnapshot {
+    /// Returns [`TamperError::NeverWritten`] if the line has never been
+    /// written (there is no off-chip tuple to capture).
+    pub fn snapshot(&self, data_line: u64) -> Result<LineSnapshot, TamperError> {
         let (line_idx, _) = self.geometry.parent_of(0, data_line);
-        LineSnapshot {
-            data_line,
-            ciphertext: *self.data.get(&data_line).expect("never written"),
-            mac: self.data_macs[&data_line],
-            counter_line: self.levels[0][&line_idx].clone(),
-        }
+        let ciphertext = *self
+            .data
+            .get(&data_line)
+            .ok_or(TamperError::NeverWritten { data_line })?;
+        let mac = self
+            .data_macs
+            .get(&data_line)
+            .copied()
+            .ok_or(TamperError::NeverWritten { data_line })?;
+        let counter_line = self
+            .levels
+            .first()
+            .and_then(|level| level.get(&line_idx))
+            .cloned()
+            .ok_or(TamperError::NoCounterLine { level: 0, line_idx })?;
+        Ok(LineSnapshot { data_line, ciphertext, mac, counter_line })
     }
 
     /// Replays a previously captured snapshot — the classic replay attack:
@@ -415,7 +543,7 @@ mod tests {
         for config in all_configs() {
             let mut m = mem(config.clone());
             m.write(7, &[5; 64]);
-            m.tamper_raw(7, 63, 0x80);
+            m.tamper_raw(7, 63, 0x80).unwrap();
             let err = m.read(7).unwrap_err();
             assert!(
                 matches!(err, IntegrityError::DataMac { .. }),
@@ -429,7 +557,7 @@ mod tests {
     fn mac_tampering_is_detected() {
         let mut m = mem(TreeConfig::morphtree());
         m.write(7, &[5; 64]);
-        m.tamper_mac(7, 1);
+        m.tamper_mac(7, 1).unwrap();
         assert!(m.read(7).is_err());
     }
 
@@ -437,9 +565,106 @@ mod tests {
     fn counter_tampering_is_detected() {
         let mut m = mem(TreeConfig::morphtree());
         m.write(7, &[5; 64]);
-        m.tamper_counter(0, 0);
+        m.tamper_counter(0, 0).unwrap();
         let err = m.read(7).unwrap_err();
         assert!(matches!(err, IntegrityError::CounterMac { level: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn counter_mac_tampering_is_detected_at_the_tampered_level() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(7, &[5; 64]);
+        m.tamper_counter_mac(0, 0, 0x8000).unwrap();
+        let err = m.read(7).unwrap_err();
+        assert_eq!(err, IntegrityError::CounterMac { level: 0, line_idx: 0 });
+    }
+
+    #[test]
+    fn tamper_hooks_return_typed_errors_instead_of_panicking() {
+        let mut m = mem(TreeConfig::sc64());
+        assert_eq!(
+            m.tamper_raw(3, 0, 1),
+            Err(TamperError::NeverWritten { data_line: 3 })
+        );
+        m.write(3, &[1; 64]);
+        assert_eq!(
+            m.tamper_raw(3, 64, 1),
+            Err(TamperError::OffsetOutOfRange { offset: 64 })
+        );
+        assert_eq!(
+            m.tamper_mac(4, 1),
+            Err(TamperError::NeverWritten { data_line: 4 })
+        );
+        assert_eq!(
+            m.tamper_counter(0, 999),
+            Err(TamperError::NoCounterLine { level: 0, line_idx: 999 })
+        );
+        assert_eq!(
+            m.tamper_counter_slot(99, 0, 0),
+            Err(TamperError::NoSuchLevel { level: 99, levels: m.geometry().levels().len() })
+        );
+        assert_eq!(
+            m.tamper_counter_slot(0, 0, 64),
+            Err(TamperError::SlotOutOfRange { slot: 64, arity: 64 })
+        );
+        assert_eq!(
+            m.snapshot(9).unwrap_err(),
+            TamperError::NeverWritten { data_line: 9 }
+        );
+        assert_eq!(
+            m.splice(3, 10),
+            Err(TamperError::NeverWritten { data_line: 10 })
+        );
+        // None of the failed attacks perturbed the healthy state.
+        assert_eq!(m.read(3).unwrap(), [1; 64]);
+    }
+
+    #[test]
+    fn missing_mac_is_a_verification_failure_not_a_zero_sentinel() {
+        // Regression: a stored ciphertext without a stored MAC used to
+        // verify against "MAC = 0" — a forgeable sentinel. It must surface
+        // as a typed MissingMac error.
+        let mut m = mem(TreeConfig::morphtree());
+        m.write(2, &[7; 64]);
+        m.data_macs.remove(&2);
+        let err = m.read(2).unwrap_err();
+        assert_eq!(err, IntegrityError::MissingMac { line_addr: 2 * 64 });
+        // And an adversary forging the old sentinel value fails the MAC
+        // check like any other wrong MAC.
+        m.data_macs.insert(2, 0);
+        let err = m.read(2).unwrap_err();
+        assert_eq!(err, IntegrityError::DataMac { line_addr: 2 * 64 });
+    }
+
+    #[test]
+    fn cross_line_splice_is_detected_on_both_lines() {
+        for config in all_configs() {
+            let mut m = mem(config.clone());
+            m.write(5, &[0x55; 64]);
+            m.write(9, &[0x99; 64]);
+            m.splice(5, 9).unwrap();
+            // Each tuple is self-consistent but bound to the wrong address.
+            assert_eq!(
+                m.read(5).unwrap_err(),
+                IntegrityError::DataMac { line_addr: 5 * 64 },
+                "{}",
+                config.name()
+            );
+            assert_eq!(
+                m.read(9).unwrap_err(),
+                IntegrityError::DataMac { line_addr: 9 * 64 },
+                "{}",
+                config.name()
+            );
+        }
+    }
+
+    #[test]
+    fn splice_of_a_line_with_itself_is_a_noop() {
+        let mut m = mem(TreeConfig::sc64());
+        m.write(5, &[0x55; 64]);
+        m.splice(5, 5).unwrap();
+        assert_eq!(m.read(5).unwrap(), [0x55; 64]);
     }
 
     #[test]
@@ -447,7 +672,7 @@ mod tests {
         for config in all_configs() {
             let mut m = mem(config.clone());
             m.write(3, &[0xaa; 64]);
-            let stale = m.snapshot(3);
+            let stale = m.snapshot(3).unwrap();
             // Victim updates the line; adversary replays the stale tuple.
             m.write(3, &[0xbb; 64]);
             m.replay(&stale);
@@ -465,7 +690,7 @@ mod tests {
     fn replay_of_current_state_is_a_noop() {
         let mut m = mem(TreeConfig::sc64());
         m.write(3, &[0xaa; 64]);
-        let snap = m.snapshot(3);
+        let snap = m.snapshot(3).unwrap();
         m.replay(&snap); // replaying the *current* state changes nothing
         assert_eq!(m.read(3).unwrap(), [0xaa; 64]);
     }

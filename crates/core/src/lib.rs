@@ -19,6 +19,10 @@
 //! - [`functional`] — a byte-level *functional* secure memory that actually
 //!   encrypts, MACs, and replay-protects data, with attacker hooks used by
 //!   the integration tests to demonstrate detection (§V).
+//! - [`attack`] — the adversary engine: a taxonomy of tamper/replay attack
+//!   classes and a seeded, deterministic campaign runner that fires
+//!   randomized attacks against the functional memory and checks each is
+//!   detected at the predicted tree location.
 //!
 //! # Quick example
 //!
@@ -37,14 +41,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod attack;
 pub mod counters;
 pub mod error;
 pub mod functional;
 pub mod metadata;
 pub mod tree;
 
-pub use error::IntegrityError;
+pub use error::{IntegrityError, TamperError};
 
 /// Size of a cacheline (and of every counter-line entry) in bytes.
 pub const CACHELINE_BYTES: usize = 64;

@@ -180,12 +180,13 @@ impl MetadataCache {
                 ReplacementPolicy::Lru => 0,
                 ReplacementPolicy::LevelAware => {
                     // LRU among the lowest-priority class (vector order is
-                    // LRU -> MRU, so the first minimum is the LRU one).
-                    let min = entries.iter().map(|e| e.priority).min().expect("full set");
+                    // LRU -> MRU, and `min_by_key` keeps the first of equal
+                    // minima, i.e. the LRU one).
                     entries
                         .iter()
-                        .position(|e| e.priority == min)
-                        .expect("minimum exists")
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.priority)
+                        .map_or(0, |(pos, _)| pos)
                 }
             };
             let v = entries.remove(pos);

@@ -147,8 +147,7 @@ impl MetadataEngine {
     ) -> Self {
         let geometry = TreeGeometry::new(&config, memory_bytes);
         let num_levels = geometry.levels().len();
-        let last = geometry.levels().last().expect("at least one level");
-        let mac_base = last.base_addr + last.bytes();
+        let mac_base = geometry.levels().last().map_or(0, |last| last.base_addr + last.bytes());
         MetadataEngine {
             config,
             cache: MetadataCache::with_policy(cache_bytes, 8, options.replacement),
@@ -288,6 +287,10 @@ impl MetadataEngine {
         }
         // Insert top-down so the requested line ends most-recently-used.
         for addr in fetched.into_iter().rev() {
+            // Every fetched address came from this geometry's own layout;
+            // a locate miss here would mean the layout is self-inconsistent,
+            // which must stay loud rather than silently mis-prioritise.
+            #[allow(clippy::expect_used)]
             let (lvl, _) = self.geometry.locate(addr).expect("metadata address");
             if let Some(evicted) = self.cache.insert_with_priority(addr, false, lvl as u8) {
                 if evicted.dirty {
@@ -300,6 +303,9 @@ impl MetadataEngine {
     /// Writes a dirty metadata line back to memory and propagates the write
     /// to its parent counter — the §II-C mechanism.
     fn writeback(&mut self, addr: u64, out: &mut Vec<MemAccess>, depth: usize) {
+        // The cache is only ever fed metadata addresses; silently dropping
+        // a writeback on a locate miss would corrupt the traffic model.
+        #[allow(clippy::expect_used)]
         let (level, idx) = self
             .geometry
             .locate(addr)

@@ -5,10 +5,24 @@
 //! Because figures share runs (Fig 15/16/18 read the same simulations),
 //! planning the union before prefetching both deduplicates work across
 //! figures and gives the work queue its full width up front.
+//!
+//! # Fault tolerance
+//!
+//! Both layers degrade gracefully instead of aborting the batch:
+//!
+//! - each prefetched *run* executes under panic isolation with one retry
+//!   (see [`Lab::prefetch`]); a run that still fails lands in the lab's
+//!   failure record and the rest of the sweep completes;
+//! - each *figure* renders inside its own `catch_unwind`, so a figure
+//!   whose runs are missing (or whose renderer panics) is recorded in the
+//!   [`SweepOutcome`] while figures that depend only on successful runs
+//!   still produce their reports.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::figures::{self, Figure};
 use crate::report;
-use crate::runner::{Lab, Setup, Sweep};
+use crate::runner::{Lab, RunFailure, Setup, Sweep};
 
 /// The names of every reproducible figure, in `runall` order.
 #[must_use]
@@ -16,13 +30,56 @@ pub fn figure_names() -> Vec<&'static str> {
     figures::catalog().iter().map(|f| f.name).collect()
 }
 
+/// What a batch of figures produced: the combined report of every figure
+/// that rendered, plus the failure record of everything that did not.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Concatenated reports of the figures that rendered.
+    pub report: String,
+    /// `(figure, panic message)` for figures whose renderer died.
+    pub failed_figures: Vec<(String, String)>,
+    /// Runs the sweep could not complete (already retried once).
+    pub run_failures: Vec<RunFailure>,
+    /// Labels of runs that panicked once and succeeded on retry.
+    pub recovered_runs: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// True when every run and every figure completed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed_figures.is_empty() && self.run_failures.is_empty()
+    }
+
+    /// A human-readable failure summary, or `None` when the batch was
+    /// clean and nothing needed a retry.
+    #[must_use]
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.is_clean() && self.recovered_runs.is_empty() {
+            return None;
+        }
+        let mut out = String::from("sweep failure summary:\n");
+        for label in &self.recovered_runs {
+            out.push_str(&format!("  recovered after retry: {label}\n"));
+        }
+        for failure in &self.run_failures {
+            out.push_str(&format!("  run {failure}\n"));
+        }
+        for (figure, message) in &self.failed_figures {
+            out.push_str(&format!("  figure {figure} did not render: {message}\n"));
+        }
+        Some(out)
+    }
+}
+
 /// Plans, prefetches, and renders the named figures; each report is
-/// printed and saved under `results/`. Returns the combined report.
+/// printed and saved under `results/`. Failing runs and figures are
+/// recorded in the outcome instead of aborting the batch.
 ///
 /// # Errors
 ///
 /// Errors on unknown figure names (nothing is simulated in that case).
-pub fn run_figures(lab: &mut Lab, names: &[&str]) -> Result<String, String> {
+pub fn run_figures(lab: &mut Lab, names: &[&str]) -> Result<SweepOutcome, String> {
     let catalog = figures::catalog();
     let mut selected: Vec<&Figure> = Vec::with_capacity(names.len());
     for name in names {
@@ -31,28 +88,62 @@ pub fn run_figures(lab: &mut Lab, names: &[&str]) -> Result<String, String> {
         })?;
         selected.push(figure);
     }
+    Ok(run_selected(lab, &selected))
+}
 
+/// The render stage behind [`run_figures`], taking the figures directly —
+/// the seam the fault-tolerance tests use to inject a panicking figure.
+pub(crate) fn run_selected(lab: &mut Lab, selected: &[&Figure]) -> SweepOutcome {
     let mut sweep = Sweep::new();
-    for figure in &selected {
+    for figure in selected {
         (figure.plan)(lab.setup(), &mut sweep);
     }
     lab.prefetch(&sweep);
 
     let mut combined = String::new();
-    for figure in &selected {
+    let mut failed_figures = Vec::new();
+    for figure in selected {
         if lab.verbose {
             eprintln!("==== {} ====", figure.name);
         }
-        let output = (figure.run)(lab);
-        report::emit(figure.name, &output);
-        combined.push_str(&format!("\n==== {} ====\n\n{output}\n", figure.name));
+        // A panicking renderer (e.g. one whose runs failed above) must not
+        // take down the figures that can still render from the memo.
+        match catch_unwind(AssertUnwindSafe(|| (figure.run)(lab))) {
+            Ok(output) => {
+                if lab.emit_reports {
+                    report::emit(figure.name, &output);
+                }
+                combined.push_str(&format!("\n==== {} ====\n\n{output}\n", figure.name));
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "panic with non-string payload".to_owned());
+                if lab.verbose {
+                    eprintln!("[sweep] figure {} did not render: {message}", figure.name);
+                }
+                combined.push_str(&format!(
+                    "\n==== {} ====\n\n(not rendered: {message})\n",
+                    figure.name
+                ));
+                failed_figures.push((figure.name.to_owned(), message));
+            }
+        }
     }
-    Ok(combined)
+    SweepOutcome {
+        report: combined,
+        failed_figures,
+        run_failures: lab.take_failures(),
+        recovered_runs: lab.take_recovered(),
+    }
 }
 
 /// Entry point shared by the figure binaries: parses `--threads N` from
 /// the command line and regenerates the named figures at the default
-/// operating point. Returns the combined report.
+/// operating point. Returns the combined report; any failure summary is
+/// printed to stderr.
 ///
 /// # Panics
 ///
@@ -75,7 +166,12 @@ pub fn figure_main(names: &[&str]) -> String {
     let mut lab = Lab::new(Setup::default());
     lab.set_threads(threads);
     match run_figures(&mut lab, names) {
-        Ok(combined) => combined,
+        Ok(outcome) => {
+            if let Some(summary) = outcome.failure_summary() {
+                eprintln!("{summary}");
+            }
+            outcome.report
+        }
         Err(message) => {
             eprintln!("error: {message}");
             std::process::exit(2);
@@ -86,6 +182,7 @@ pub fn figure_main(names: &[&str]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::UnknownWorkload;
 
     #[test]
     fn unknown_figures_are_rejected_before_simulating() {
@@ -103,5 +200,52 @@ mod tests {
         assert_eq!(names[0], "table3");
         assert!(names.contains(&"fig15"));
         assert!(names.contains(&"ext_scheduler"));
+    }
+
+    fn plan_nothing(_: &Setup, _: &mut Sweep) {}
+
+    #[test]
+    fn a_panicking_figure_does_not_abort_the_batch() {
+        let healthy = Figure {
+            name: "test_healthy",
+            plan: plan_nothing,
+            run: |_| "healthy output".to_owned(),
+        };
+        let doomed = Figure {
+            name: "test_doomed",
+            plan: plan_nothing,
+            run: |_| panic!("{}", UnknownWorkload { name: "ghost".into() }),
+        };
+        let mut lab = Lab::new(Setup::default());
+        lab.verbose = false;
+        lab.emit_reports = false;
+        let outcome = run_selected(&mut lab, &[&doomed, &healthy]);
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.failed_figures.len(), 1);
+        assert_eq!(outcome.failed_figures[0].0, "test_doomed");
+        assert!(
+            outcome.failed_figures[0].1.contains("unknown workload `ghost`"),
+            "{:?}",
+            outcome.failed_figures
+        );
+        assert!(outcome.report.contains("healthy output"), "{}", outcome.report);
+        assert!(outcome.report.contains("not rendered"), "{}", outcome.report);
+        let summary = outcome.failure_summary().unwrap();
+        assert!(summary.contains("test_doomed"), "{summary}");
+    }
+
+    #[test]
+    fn clean_outcomes_have_no_failure_summary() {
+        let healthy = Figure {
+            name: "test_trivial",
+            plan: plan_nothing,
+            run: |_| "ok".to_owned(),
+        };
+        let mut lab = Lab::new(Setup::default());
+        lab.verbose = false;
+        lab.emit_reports = false;
+        let outcome = run_selected(&mut lab, &[&healthy]);
+        assert!(outcome.is_clean());
+        assert!(outcome.failure_summary().is_none());
     }
 }

@@ -266,7 +266,7 @@ pub fn scheduler(lab: &mut Lab) -> String {
     let setup = lab.setup().clone();
     for name in ["mcf", "libquantum", "omnetpp"] {
         // Build the secure-memory access stream once.
-        let mut workload = setup.workload(name);
+        let mut workload = setup.workload(name).unwrap_or_else(|e| panic!("{e}"));
         let mut engine = MetadataEngine::new(
             TreeConfig::sc64(),
             setup.memory_bytes(),

@@ -24,4 +24,5 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 
-pub use runner::{Lab, Setup, Sweep};
+pub use driver::SweepOutcome;
+pub use runner::{Lab, RunFailure, Setup, Sweep, UnknownWorkload};

@@ -23,6 +23,8 @@
 //! asserts byte-identical results per key across thread counts.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -34,6 +36,26 @@ use morphtree_core::tree::TreeConfig;
 use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig, SimResult};
 use morphtree_trace::catalog::{Benchmark, MIXES};
 use morphtree_trace::workload::SystemWorkload;
+
+/// A workload name that is neither a Table II benchmark nor a mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The requested name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload `{}` (known: {})",
+            self.name,
+            Setup::all_workloads().join(" ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
 
 /// The scaled operating point (see the crate docs for the rationale).
 #[derive(Debug, Clone)]
@@ -94,18 +116,18 @@ impl Setup {
     /// Builds the workload named `name` (a Table II benchmark or
     /// `mix1`..`mix6`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the name is unknown.
-    #[must_use]
-    pub fn workload(&self, name: &str) -> SystemWorkload {
+    /// Returns [`UnknownWorkload`] (listing the known names) if `name` is
+    /// neither a benchmark nor a mix.
+    pub fn workload(&self, name: &str) -> Result<SystemWorkload, UnknownWorkload> {
         if let Some(mix) = MIXES.iter().find(|m| m.name == name) {
             // Mixes use the same footprint divisor as rate mode.
-            return SystemWorkload::mix(mix, self.memory_bytes(), self.seed);
+            return Ok(SystemWorkload::mix(mix, self.memory_bytes(), self.seed));
         }
         let bench = Benchmark::by_name(name)
-            .unwrap_or_else(|| panic!("unknown workload {name}"));
-        SystemWorkload::rate_scaled(bench, 4, self.memory_bytes(), self.seed, self.scale)
+            .ok_or_else(|| UnknownWorkload { name: name.to_owned() })?;
+        Ok(SystemWorkload::rate_scaled(bench, 4, self.memory_bytes(), self.seed, self.scale))
     }
 
     /// The 22 rate-mode workloads (Table II order).
@@ -281,29 +303,80 @@ impl Sweep {
     }
 }
 
+/// Test-only fault injection: arms a one-shot (or N-shot) panic inside
+/// the next runs whose label contains a pattern, so the sweep-isolation
+/// machinery can be exercised end-to-end. Hidden from docs; no-op unless
+/// armed.
+#[doc(hidden)]
+pub mod fault_injection {
+    use std::sync::Mutex;
+
+    static ARMED: Mutex<Option<(String, u32)>> = Mutex::new(None);
+
+    /// Panics the next `times` runs whose label contains `pattern`.
+    pub fn arm(pattern: &str, times: u32) {
+        *ARMED.lock().expect("fault-injection lock") = Some((pattern.to_owned(), times));
+    }
+
+    /// Clears any armed fault.
+    pub fn disarm() {
+        *ARMED.lock().expect("fault-injection lock") = None;
+    }
+
+    pub(crate) fn maybe_panic(label: &str) {
+        let mut armed = ARMED.lock().expect("fault-injection lock");
+        if let Some((pattern, times)) = armed.as_mut() {
+            if *times > 0 && label.contains(pattern.as_str()) {
+                *times -= 1;
+                let t = *times;
+                drop(armed); // do not poison the lock with the panic below
+                panic!("injected fault for `{label}` ({t} charges left)");
+            }
+        }
+    }
+}
+
 /// Executes one full-system simulation for `key`. Both the serial
 /// [`Lab::result_full`] path and the parallel [`Lab::prefetch`] workers
 /// call this, so the two are identical by construction: the workload (and
 /// its RNG streams) is rebuilt from the setup seed on every call.
-#[must_use]
-pub fn execute_sim(setup: &Setup, key: &RunKey, tree: Option<&TreeConfig>) -> SimResult {
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] if the key names a workload that does not
+/// exist.
+pub fn execute_sim(
+    setup: &Setup,
+    key: &RunKey,
+    tree: Option<&TreeConfig>,
+) -> Result<SimResult, UnknownWorkload> {
+    fault_injection::maybe_panic(&key.label());
     let mut cfg = setup.sim_config();
     cfg.metadata_cache_bytes = key.cache_bytes;
     cfg.mac_mode = key.mac;
     cfg.verification = key.verification;
     cfg.replacement = key.replacement;
-    let mut workload = setup.workload(&key.workload);
-    match tree {
+    let mut workload = setup.workload(&key.workload)?;
+    Ok(match tree {
         Some(t) => simulate(&mut workload, t.clone(), &cfg),
         None => simulate_nonsecure(&mut workload, &cfg),
-    }
+    })
 }
 
 /// Executes one timing-free engine study for `key` (warm-up then measure,
 /// round-robin across cores). Shared by the serial and parallel paths.
-#[must_use]
-pub fn execute_engine(setup: &Setup, key: &EngineKey, tree: &TreeConfig) -> EngineStats {
-    let mut workload = setup.workload(&key.workload);
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] if the key names a workload that does not
+/// exist.
+pub fn execute_engine(
+    setup: &Setup,
+    key: &EngineKey,
+    tree: &TreeConfig,
+) -> Result<EngineStats, UnknownWorkload> {
+    fault_injection::maybe_panic(&key.label());
+    let mut workload = setup.workload(&key.workload)?;
     let mut engine = MetadataEngine::new(
         tree.clone(),
         setup.memory_bytes(),
@@ -333,7 +406,64 @@ pub fn execute_engine(setup: &Setup, key: &EngineKey, tree: &TreeConfig) -> Engi
             }
         }
     }
-    engine.stats().clone()
+    Ok(engine.stats().clone())
+}
+
+/// Record of one run the sweep could not complete.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// `workload / config` label of the failed run.
+    pub label: String,
+    /// The panic message or typed error that killed it.
+    pub error: String,
+    /// Attempts made (2 = the retry failed too).
+    pub attempts: u32,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed after {} attempt(s): {}", self.label, self.attempts, self.error)
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Maximum attempts per sweep run: the first try plus one retry. A retry
+/// is only useful against nondeterministic faults (the runs themselves are
+/// deterministic), but it is cheap insurance and the ISSUE-level contract.
+const RUN_ATTEMPTS: u32 = 2;
+
+/// Runs `f` inside panic isolation with one retry. Returns the value and
+/// the number of attempts used, or a [`RunFailure`]. Typed errors fail
+/// immediately (they are deterministic); only panics are retried.
+fn run_isolated<T>(
+    label: &str,
+    f: impl Fn() -> Result<T, UnknownWorkload>,
+) -> Result<(T, u32), RunFailure> {
+    let mut last_panic = String::new();
+    for attempt in 1..=RUN_ATTEMPTS {
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(Ok(value)) => return Ok((value, attempt)),
+            Ok(Err(error)) => {
+                return Err(RunFailure {
+                    label: label.to_owned(),
+                    error: error.to_string(),
+                    attempts: attempt,
+                })
+            }
+            Err(payload) => last_panic = panic_message(payload.as_ref()),
+        }
+    }
+    Err(RunFailure { label: label.to_owned(), error: last_panic, attempts: RUN_ATTEMPTS })
 }
 
 /// Minimum interval between progress lines during a sweep.
@@ -370,8 +500,15 @@ pub struct Lab {
     /// Worker threads for [`Lab::prefetch`]; 0 = automatic
     /// (`MORPHTREE_THREADS` env var, else `available_parallelism`).
     threads: usize,
+    /// Runs no sweep could complete (panicked twice, or a typed error).
+    failures: Vec<RunFailure>,
+    /// Labels of runs that panicked once but succeeded on retry.
+    recovered: Vec<String>,
     /// Progress lines are printed when true (default).
     pub verbose: bool,
+    /// Figure reports are saved under `results/` when true (default);
+    /// tests render in-memory only.
+    pub emit_reports: bool,
 }
 
 impl Lab {
@@ -383,7 +520,10 @@ impl Lab {
             runs: HashMap::new(),
             engine_runs: HashMap::new(),
             threads: 0,
+            failures: Vec::new(),
+            recovered: Vec::new(),
             verbose: true,
+            emit_reports: true,
         }
     }
 
@@ -458,10 +598,15 @@ impl Lab {
         let sim_results: Mutex<HashMap<RunKey, SimResult>> = Mutex::new(HashMap::new());
         let engine_results: Mutex<HashMap<EngineKey, EngineStats>> =
             Mutex::new(HashMap::new());
+        let failures: Mutex<Vec<RunFailure>> = Mutex::new(Vec::new());
+        let recovered: Mutex<Vec<String>> = Mutex::new(Vec::new());
         let progress = Mutex::new(Progress { done: 0, last_print: None });
         let setup = &self.setup;
         let verbose = self.verbose;
 
+        // Each run executes under `run_isolated`: a panicking or failing
+        // run is retried once, then recorded as a failure — it never takes
+        // the sweep (or the other runs) down with it.
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -469,23 +614,43 @@ impl Lab {
                     if index >= total {
                         break;
                     }
-                    let label = if index < sim_jobs.len() {
+                    let (label, attempts) = if index < sim_jobs.len() {
                         let (key, tree) = sim_jobs[index];
-                        let result = execute_sim(setup, key, tree.as_ref());
-                        sim_results
-                            .lock()
-                            .expect("sim results lock")
-                            .insert(key.clone(), result);
-                        key.label()
+                        let label = key.label();
+                        match run_isolated(&label, || execute_sim(setup, key, tree.as_ref()))
+                        {
+                            Ok((result, attempts)) => {
+                                sim_results
+                                    .lock()
+                                    .expect("sim results lock")
+                                    .insert(key.clone(), result);
+                                (label, Some(attempts))
+                            }
+                            Err(failure) => {
+                                failures.lock().expect("failures lock").push(failure);
+                                (label, None)
+                            }
+                        }
                     } else {
                         let (key, tree) = engine_jobs[index - sim_jobs.len()];
-                        let stats = execute_engine(setup, key, tree);
-                        engine_results
-                            .lock()
-                            .expect("engine results lock")
-                            .insert(key.clone(), stats);
-                        key.label()
+                        let label = key.label();
+                        match run_isolated(&label, || execute_engine(setup, key, tree)) {
+                            Ok((stats, attempts)) => {
+                                engine_results
+                                    .lock()
+                                    .expect("engine results lock")
+                                    .insert(key.clone(), stats);
+                                (label, Some(attempts))
+                            }
+                            Err(failure) => {
+                                failures.lock().expect("failures lock").push(failure);
+                                (label, None)
+                            }
+                        }
                     };
+                    if attempts.is_some_and(|a| a > 1) {
+                        recovered.lock().expect("recovered lock").push(label.clone());
+                    }
                     if verbose {
                         Progress::note(&progress, total, &label);
                     }
@@ -497,6 +662,42 @@ impl Lab {
             .extend(sim_results.into_inner().expect("sim results lock"));
         self.engine_runs
             .extend(engine_results.into_inner().expect("engine results lock"));
+        let mut new_failures = failures.into_inner().expect("failures lock");
+        // Worker interleaving is nondeterministic; keep the record stable.
+        new_failures.sort_by(|a, b| a.label.cmp(&b.label));
+        if self.verbose {
+            for failure in &new_failures {
+                eprintln!("[sweep] FAILED: {failure}");
+            }
+        }
+        self.failures.extend(new_failures);
+        let mut new_recovered = recovered.into_inner().expect("recovered lock");
+        new_recovered.sort();
+        self.recovered.extend(new_recovered);
+    }
+
+    /// Runs no sweep could complete so far (in stable label order per
+    /// sweep).
+    #[must_use]
+    pub fn failures(&self) -> &[RunFailure] {
+        &self.failures
+    }
+
+    /// Labels of runs that panicked once and succeeded on retry.
+    #[must_use]
+    pub fn recovered(&self) -> &[String] {
+        &self.recovered
+    }
+
+    /// Drains the failure record (the driver folds it into its sweep
+    /// outcome so a later sweep on the same lab starts clean).
+    pub fn take_failures(&mut self) -> Vec<RunFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Drains the recovered-by-retry record.
+    pub fn take_recovered(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.recovered)
     }
 
     /// Full-system result for `workload` under `tree` (None = non-secure),
@@ -546,7 +747,12 @@ impl Lab {
                     key.mac,
                 );
             }
-            let result = execute_sim(&self.setup, &key, tree.as_ref());
+            // The serial path serves figure `run` functions, which cannot
+            // propagate errors; surface the typed error as a panic that the
+            // driver's per-figure isolation turns into a failure-summary
+            // entry.
+            let result = execute_sim(&self.setup, &key, tree.as_ref())
+                .unwrap_or_else(|e| panic!("{e}"));
             self.runs.insert(key.clone(), result);
         }
         &self.runs[&key]
@@ -567,7 +773,10 @@ impl Lab {
             if self.verbose {
                 eprintln!("[engine] {} / {}", key.workload, key.config);
             }
-            let stats = execute_engine(&self.setup, &key, &tree);
+            // Same contract as `result_full`: typed errors become panics
+            // for the driver's per-figure isolation to catch.
+            let stats = execute_engine(&self.setup, &key, &tree)
+                .unwrap_or_else(|e| panic!("{e}"));
             self.engine_runs.insert(key.clone(), stats);
         }
         &self.engine_runs[&key]
@@ -638,9 +847,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown workload")]
-    fn unknown_workload_panics() {
-        let _ = quick_setup().workload("not-a-benchmark");
+    fn unknown_workload_is_a_typed_error_listing_known_names() {
+        let err = quick_setup().workload("not-a-benchmark").unwrap_err();
+        assert_eq!(err.name, "not-a-benchmark");
+        let message = err.to_string();
+        assert!(message.contains("unknown workload `not-a-benchmark`"), "{message}");
+        assert!(message.contains("mcf"), "{message}");
+        assert!(message.contains("mix6"), "{message}");
+    }
+
+    #[test]
+    fn run_isolated_retries_panics_once_and_reports_typed_errors() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let (value, attempts) = run_isolated("flaky", || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            Ok(7)
+        })
+        .unwrap();
+        assert_eq!((value, attempts), (7, 2));
+
+        let failure = run_isolated("doomed", || -> Result<(), UnknownWorkload> {
+            panic!("always");
+        })
+        .unwrap_err();
+        assert_eq!(failure.attempts, 2);
+        assert!(failure.error.contains("always"), "{}", failure.error);
+
+        let failure = run_isolated("typo", || {
+            Err::<(), _>(UnknownWorkload { name: "typo".into() })
+        })
+        .unwrap_err();
+        assert_eq!(failure.attempts, 1, "typed errors are not retried");
+        assert!(failure.error.contains("unknown workload"), "{}", failure.error);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! End-to-end checks of the sweep engine's panic isolation: an injected
+//! per-run panic is retried once, a persistent fault is recorded as a
+//! [`RunFailure`] while the rest of the sweep completes, and a typed
+//! error (unknown workload) fails fast without a retry.
+//!
+//! The fault-injection arm/disarm state is process-global, so every test
+//! serializes on a file-local mutex and disarms before returning.
+
+use std::sync::Mutex;
+
+use morphtree_core::tree::TreeConfig;
+use morphtree_experiments::runner::fault_injection;
+use morphtree_experiments::{Lab, Setup, Sweep};
+
+/// Serializes the tests in this file: they share the global
+/// fault-injection arming state.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_setup() -> Setup {
+    Setup { scale: 256, warmup_instructions: 20_000, measure_instructions: 20_000, seed: 7 }
+}
+
+/// Three runs: two secure sims and one engine study, so the surviving
+/// runs span both executor kinds.
+fn small_sweep(setup: &Setup) -> Sweep {
+    let mut sweep = Sweep::new();
+    sweep.sim(setup, "libquantum", Some(TreeConfig::sc64()));
+    sweep.sim(setup, "mcf", Some(TreeConfig::sc64()));
+    sweep.engine("mcf", TreeConfig::morphtree(), 20_000);
+    sweep
+}
+
+fn prefetch_armed(pattern: &str, times: u32) -> Lab {
+    let setup = tiny_setup();
+    let sweep = small_sweep(&setup);
+    let mut lab = Lab::new(setup);
+    lab.verbose = false;
+    lab.set_threads(2);
+    fault_injection::arm(pattern, times);
+    lab.prefetch(&sweep);
+    fault_injection::disarm();
+    lab
+}
+
+#[test]
+fn a_run_that_panics_once_is_retried_and_recovers() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let lab = prefetch_armed("libquantum", 1);
+
+    assert!(lab.failures().is_empty(), "retry should have absorbed the fault: {:?}", lab.failures());
+    assert_eq!(lab.recovered(), ["libquantum / SC-64"]);
+    // The memo is complete: both sims and the engine study landed.
+    assert_eq!(lab.sim_results().len(), 2);
+    assert_eq!(lab.engine_results().len(), 1);
+}
+
+#[test]
+fn a_persistent_fault_is_recorded_while_the_rest_of_the_sweep_completes() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let lab = prefetch_armed("libquantum", 2);
+
+    assert_eq!(lab.failures().len(), 1, "{:?}", lab.failures());
+    let failure = &lab.failures()[0];
+    assert_eq!(failure.label, "libquantum / SC-64");
+    assert_eq!(failure.attempts, 2, "panics get one retry");
+    assert!(failure.error.contains("injected fault"), "{failure}");
+    assert!(lab.recovered().is_empty());
+    // The other two runs still completed.
+    assert_eq!(lab.sim_results().len(), 1);
+    assert_eq!(lab.engine_results().len(), 1);
+}
+
+#[test]
+fn a_typed_error_fails_fast_without_a_retry() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let setup = tiny_setup();
+    let mut sweep = Sweep::new();
+    sweep.sim(&setup, "ghost", Some(TreeConfig::sc64()));
+    sweep.sim(&setup, "mcf", Some(TreeConfig::sc64()));
+    let mut lab = Lab::new(setup);
+    lab.verbose = false;
+    lab.prefetch(&sweep);
+
+    assert_eq!(lab.failures().len(), 1, "{:?}", lab.failures());
+    let failure = &lab.failures()[0];
+    assert_eq!(failure.label, "ghost / SC-64");
+    assert_eq!(failure.attempts, 1, "typed errors are deterministic; no retry");
+    assert!(failure.error.contains("unknown workload `ghost`"), "{failure}");
+    assert!(failure.error.contains("mcf"), "error lists the known names: {failure}");
+    // The healthy run still completed.
+    assert_eq!(lab.sim_results().len(), 1);
+}

@@ -195,7 +195,7 @@ mod tests {
     use morphtree_trace::io::RecordedTrace;
 
     fn raw(records: Vec<TraceRecord>) -> RecordedTrace {
-        RecordedTrace::new("raw", vec![records])
+        RecordedTrace::new("raw", vec![records]).unwrap()
     }
 
     fn rec(line: u64, is_write: bool) -> TraceRecord {

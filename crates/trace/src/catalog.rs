@@ -204,6 +204,10 @@ impl Mix {
     /// built-in mixes).
     #[must_use]
     pub fn benchmarks(&self) -> [&'static Benchmark; 4] {
+        // Mix members are compile-time catalog names, cross-checked by the
+        // `mixes_resolve` test; a miss is a catalog edit gone wrong and
+        // must fail loudly.
+        #[allow(clippy::expect_used)]
         self.members
             .map(|name| Benchmark::by_name(name).expect("mix member in catalog"))
     }

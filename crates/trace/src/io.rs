@@ -20,6 +20,8 @@
 //!   line  u64 LE
 //! ```
 
+use std::error::Error;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -28,6 +30,38 @@ use crate::workload::{RecordSource, TraceRecord};
 
 const MAGIC: &[u8; 4] = b"MTRC";
 const VERSION: u32 = 1;
+
+/// A structurally invalid trace: no cores, or a core with no records (a
+/// replay stream loops, so an empty core could never make progress).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceShapeError {
+    /// The trace has no cores at all.
+    NoCores,
+    /// `core` has no records.
+    EmptyCore {
+        /// Index of the record-less core.
+        core: usize,
+    },
+}
+
+impl fmt::Display for TraceShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceShapeError::NoCores => write!(f, "trace has no cores"),
+            TraceShapeError::EmptyCore { core } => {
+                write!(f, "trace core {core} has no records")
+            }
+        }
+    }
+}
+
+impl Error for TraceShapeError {}
+
+impl From<TraceShapeError> for io::Error {
+    fn from(e: TraceShapeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
 
 /// Writes trace records to a stream.
 ///
@@ -89,25 +123,34 @@ pub struct RecordedTrace {
 impl RecordedTrace {
     /// Builds a trace from in-memory per-core record streams.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if there are no cores or any core has no records.
-    #[must_use]
-    pub fn new(name: impl Into<String>, per_core: Vec<Vec<TraceRecord>>) -> Self {
-        assert!(!per_core.is_empty(), "at least one core");
-        assert!(
-            per_core.iter().all(|r| !r.is_empty()),
-            "every core needs at least one record"
-        );
+    /// Returns [`TraceShapeError`] if there are no cores or any core has no
+    /// records.
+    pub fn new(
+        name: impl Into<String>,
+        per_core: Vec<Vec<TraceRecord>>,
+    ) -> Result<Self, TraceShapeError> {
+        if per_core.is_empty() {
+            return Err(TraceShapeError::NoCores);
+        }
+        if let Some(core) = per_core.iter().position(Vec::is_empty) {
+            return Err(TraceShapeError::EmptyCore { core });
+        }
         let cursors = vec![0; per_core.len()];
-        RecordedTrace { name: name.into(), per_core, cursors }
+        Ok(RecordedTrace { name: name.into(), per_core, cursors })
     }
 
     /// Captures `records_per_core` records from a live source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceShapeError`] if the source has no cores or
+    /// `records_per_core` is zero.
     pub fn capture<S: RecordSource + ?Sized>(
         source: &mut S,
         records_per_core: usize,
-    ) -> Self {
+    ) -> Result<Self, TraceShapeError> {
         let cores = source.num_cores();
         let per_core = (0..cores)
             .map(|core| (0..records_per_core).map(|_| source.next_record(core)).collect())
@@ -174,10 +217,7 @@ impl RecordedTrace {
                 is_write: head[1] & 1 == 1,
             });
         }
-        if per_core.iter().any(Vec::is_empty) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "a core has no records"));
-        }
-        Ok(RecordedTrace::new(name, per_core))
+        Ok(RecordedTrace::new(name, per_core)?)
     }
 
     /// Writes the trace to an `MTRC` stream.
@@ -256,7 +296,7 @@ mod tests {
     fn sample_trace() -> RecordedTrace {
         let bench = Benchmark::by_name("milc").unwrap();
         let mut workload = SystemWorkload::rate(bench, 2, 1 << 30, 5);
-        RecordedTrace::capture(&mut workload, 100)
+        RecordedTrace::capture(&mut workload, 100).unwrap()
     }
 
     #[test]
@@ -265,7 +305,7 @@ mod tests {
         let mut live = SystemWorkload::rate(bench, 2, 1 << 30, 5);
         let mut captured = {
             let mut twin = SystemWorkload::rate(bench, 2, 1 << 30, 5);
-            RecordedTrace::capture(&mut twin, 50)
+            RecordedTrace::capture(&mut twin, 50).unwrap()
         };
         for core in 0..2 {
             for _ in 0..50 {
@@ -299,7 +339,8 @@ mod tests {
                 TraceRecord { gap: 1, line: 10, is_write: false },
                 TraceRecord { gap: 2, line: 20, is_write: true },
             ]],
-        );
+        )
+        .unwrap();
         let a = trace.next_record(0);
         let b = trace.next_record(0);
         let c = trace.next_record(0);
@@ -337,8 +378,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
-    fn rejects_empty_trace() {
-        let _ = RecordedTrace::new("empty", vec![]);
+    fn rejects_empty_trace_with_typed_error() {
+        assert_eq!(
+            RecordedTrace::new("empty", vec![]).unwrap_err(),
+            TraceShapeError::NoCores
+        );
+        assert_eq!(
+            RecordedTrace::new("half", vec![vec![], vec![]]).unwrap_err(),
+            TraceShapeError::EmptyCore { core: 0 }
+        );
+    }
+
+    #[test]
+    fn read_from_surfaces_shape_errors_as_invalid_data() {
+        let mut bytes = Vec::new();
+        // A valid header for two cores, followed by records for core 0 only.
+        let mut w = TraceWriter::new(&mut bytes, "onecore", 2).unwrap();
+        w.record(0, TraceRecord { gap: 0, line: 1, is_write: false }).unwrap();
+        w.finish().unwrap();
+        let err = RecordedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("core 1"), "{err}");
     }
 }

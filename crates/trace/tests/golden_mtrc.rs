@@ -49,7 +49,7 @@ fn header_layout_matches_the_spec() {
 
 #[test]
 fn capture_reproduces_the_fixture_byte_for_byte() {
-    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE);
+    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE).unwrap();
     let mut bytes = Vec::new();
     trace.write_to(&mut bytes).unwrap();
     assert_eq!(
@@ -86,6 +86,6 @@ fn replayed_fixture_matches_the_live_source() {
 #[test]
 #[ignore = "writes tests/data/milc-2core-seed5.mtrc"]
 fn regenerate_fixture() {
-    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE);
+    let trace = RecordedTrace::capture(&mut live_workload(), RECORDS_PER_CORE).unwrap();
     trace.save(FIXTURE_PATH).unwrap();
 }

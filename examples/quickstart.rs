@@ -32,7 +32,7 @@ fn main() {
     println!("\nwrite/read round-trip: OK (counter = {})", memory.counter_of(42));
 
     // An adversary with physical access flips one bit of ciphertext.
-    memory.tamper_raw(42, 7, 0x01);
+    memory.tamper_raw(42, 7, 0x01).expect("line 42 exists");
     match memory.read(42) {
         Err(err) => println!("tampering detected: {err}"),
         Ok(_) => unreachable!("tampering must not go unnoticed"),
@@ -41,7 +41,7 @@ fn main() {
     // Repair by rewriting, then mount a replay attack: capture the current
     // {ciphertext, MAC, counter} tuple, let the victim update, replay.
     memory.write(42, &secret);
-    let stale = memory.snapshot(42);
+    let stale = memory.snapshot(42).expect("line 42 exists");
     memory.write(42, b"retreat at once!retreat at once!retreat at once!retreat at once!");
     memory.replay(&stale);
     match memory.read(42) {

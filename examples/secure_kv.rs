@@ -74,7 +74,7 @@ fn main() {
     // A malicious device snapshots alice's rich balance, waits for a
     // legitimate debit, then replays the stale state.
     let slot = SecureKv::slot_of("alice") % store.capacity;
-    let stale = store.memory.snapshot(slot);
+    let stale = store.memory.snapshot(slot).expect("slot is occupied");
     store.put("alice", 0); // alice spends everything
     store.memory.replay(&stale); // attacker restores the old 2000
 

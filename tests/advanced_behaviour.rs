@@ -68,7 +68,7 @@ fn tampering_any_tree_level_is_caught_at_the_child_it_keys() {
         for line in 0..256 {
             fresh.write(line, &[line as u8; 64]);
         }
-        fresh.tamper_counter(level, 0);
+        fresh.tamper_counter(level, 0).unwrap();
         match (level, fresh.read(0)) {
             (0, Err(IntegrityError::DataMac { .. })) => {}
             (l, Err(IntegrityError::CounterMac { level: detected, .. })) if l > 0 => {
@@ -90,7 +90,7 @@ fn single_base_config_protects_end_to_end() {
         }
     }
     assert_eq!(memory.read(100).unwrap(), [19u8; 64]);
-    let stale = memory.snapshot(100);
+    let stale = memory.snapshot(100).unwrap();
     memory.write(100, &[0xee; 64]);
     memory.replay(&stale);
     assert!(memory.read(100).is_err(), "replay detected under single-base");

@@ -27,9 +27,9 @@ fn every_config_detects_bit_flips_anywhere_in_a_line() {
         let mut memory = SecureMemory::new(config.clone(), MEM, [1; 16]);
         memory.write(100, &[0x5a; 64]);
         for offset in [0usize, 13, 31, 63] {
-            memory.tamper_raw(100, offset, 0x80);
+            memory.tamper_raw(100, offset, 0x80).unwrap();
             assert!(memory.read(100).is_err(), "{} offset {offset}", config.name());
-            memory.tamper_raw(100, offset, 0x80); // undo
+            memory.tamper_raw(100, offset, 0x80).unwrap(); // undo
             assert_eq!(memory.read(100).unwrap(), [0x5a; 64], "{}", config.name());
         }
     }
@@ -43,7 +43,7 @@ fn replay_is_detected_even_after_many_interleaved_writes() {
         for line in 0..32 {
             memory.write(line, &[line as u8; 64]);
         }
-        let stale = memory.snapshot(7);
+        let stale = memory.snapshot(7).unwrap();
         // Lots of unrelated activity, including writes that share line 7's
         // counter line.
         for round in 0..100u8 {
@@ -152,7 +152,7 @@ fn wrong_key_cannot_forge_a_line() {
     honest.write(1, &[9; 64]);
     // An attacker fabricates ciphertext+MAC with their own key and splices
     // it in (simulated by tampering both fields).
-    honest.tamper_raw(1, 0, 0xff);
-    honest.tamper_mac(1, 0x1234_5678);
+    honest.tamper_raw(1, 0, 0xff).unwrap();
+    honest.tamper_mac(1, 0x1234_5678).unwrap();
     assert!(honest.read(1).is_err());
 }

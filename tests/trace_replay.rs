@@ -35,7 +35,7 @@ fn replayed_trace_reproduces_the_live_simulation_exactly() {
         ((cfg.warmup_instructions + cfg.measure_instructions) as f64 / 1000.0
             * bench.total_pki()
             * 2.0) as usize;
-    let trace = RecordedTrace::capture(&mut capture_source, records_needed);
+    let trace = RecordedTrace::capture(&mut capture_source, records_needed).unwrap();
 
     // Round-trip the trace through the on-disk format.
     let mut bytes = Vec::new();
@@ -59,7 +59,7 @@ fn replayed_trace_reproduces_the_live_simulation_exactly() {
 fn trace_survives_a_file_roundtrip() {
     let bench = Benchmark::by_name("lbm").unwrap();
     let mut source = SystemWorkload::rate(bench, 4, 16 << 30, 3);
-    let trace = RecordedTrace::capture(&mut source, 500);
+    let trace = RecordedTrace::capture(&mut source, 500).unwrap();
 
     let path = std::env::temp_dir().join("morphtree-trace-test.mtrc");
     trace.save(&path).unwrap();
