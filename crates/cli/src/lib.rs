@@ -7,6 +7,9 @@
 //! - `capture` / `replay` — record a workload to an `MTRC` trace file and
 //!   drive the simulator from it;
 //! - `sweep` — regenerate paper figures with the parallel sweep engine;
+//! - `perf` — pinned performance suite over the hot paths (counter
+//!   increments, one-time pads, engine reads/writes, one figure sweep),
+//!   written to `BENCH.json` with speedups versus in-process baselines;
 //! - `attack` — seeded fault-injection campaign against the functional
 //!   model: randomized tamper/replay/splice attacks on every tree config,
 //!   asserting 100% detection at the right tree location;
@@ -17,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -140,6 +145,7 @@ pub fn usage() -> String {
      \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
      \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
      \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
+     \x20 perf      [--out BENCH.json] [--quick 1]\n\
      \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
      \x20           [--memory-kib 1024] [--lines 96]\n\
      \x20 list\n\
@@ -160,6 +166,7 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "capture" => cmd_capture(&flags),
         "replay" => cmd_replay(&flags),
         "sweep" => cmd_sweep(&flags),
+        "perf" => perf::cmd_perf(&flags),
         "attack" => cmd_attack(&flags),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),

@@ -1,0 +1,332 @@
+//! The `morphtree perf` subcommand: a pinned performance suite for the
+//! hot paths of the reproduction, written to `BENCH.json`.
+//!
+//! The suite covers, in order:
+//!
+//! 1. counter-line increments (morph random-format and sc64 hot-slot);
+//! 2. 64-byte one-time-pad generation — the batched T-table path versus
+//!    the scalar per-block reference it replaced;
+//! 3. metadata-engine reads and writes — the paged-flat-store engine
+//!    versus the frozen [`ReferenceEngine`] (the pre-optimization
+//!    `HashMap`-backed implementation, kept verbatim as the baseline);
+//! 4. one full figure sweep (`fig07`) as an end-to-end wall-clock number.
+//!
+//! Each benchmark reports mean ns/op and ops/sec over a fixed time
+//! window; the optimized/reference pairs additionally report a speedup
+//! ratio in the JSON `speedups` section, which is what CI inspects. The
+//! baselines run in-process so the comparison is same-machine,
+//! same-build, same-workload.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use morphtree_bench::SplitMix64;
+use morphtree_core::counters::morph::{MorphLine, MorphMode};
+use morphtree_core::counters::split::{SplitConfig, SplitLine};
+use morphtree_core::counters::CounterLine;
+use morphtree_core::metadata::{MacMode, MetadataEngine, ReferenceEngine};
+use morphtree_core::tree::TreeConfig;
+use morphtree_crypto::otp::CtrModeCipher;
+
+use crate::{err, CliError, Flags};
+
+/// Memory size the engine benchmarks model (matches `benches/engine.rs`).
+const MEMORY: u64 = 256 << 20;
+/// Metadata-cache size for the gated engine benchmarks: the paper's
+/// Table I configuration (128 KB). With a resident footprint this is the
+/// cache-hit regime real workloads run in (Fig 16's hit rates are high),
+/// so the gated numbers measure the engine itself rather than a miss
+/// storm whose emit traffic both implementations share.
+const CACHE: usize = 128 * 1024;
+/// Small cache for the informational cold-miss variants.
+const COLD_CACHE: usize = 8 * 1024;
+/// Read footprint for the gated benchmark: 8 MiB of data, whose metadata
+/// fits in the 128 KB cache after warm-up.
+const HOT_READ_LINES: u64 = (8 << 20) / 64;
+/// Random-read footprint for the cold variant (64 MiB of data).
+const FOOTPRINT_LINES: u64 = (64 << 20) / 64;
+/// Hot-set size for the write benchmarks.
+const HOT_LINES: u64 = 4096;
+
+/// One benchmark's result.
+struct Bench {
+    name: &'static str,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+/// Sub-windows per benchmark; the reported figure is the *fastest*
+/// sub-window. Interference noise on a shared host is one-sided (it only
+/// ever slows a window down), so the minimum is the stable estimator —
+/// means swing by 1.5x between otherwise identical runs.
+const PASSES: u32 = 4;
+
+/// Runs `op` in batches for `PASSES` sub-windows (after a warm-up of a
+/// quarter window) and reports the best per-call cost observed.
+fn measure<F: FnMut()>(name: &'static str, window: Duration, mut op: F) -> Bench {
+    let warm_up_end = Instant::now() + window / 4;
+    while Instant::now() < warm_up_end {
+        op();
+    }
+    let sub_window = window / PASSES;
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let mut ops = 0u64;
+        let started = Instant::now();
+        loop {
+            for _ in 0..64 {
+                op();
+            }
+            ops += 64;
+            if started.elapsed() >= sub_window {
+                break;
+            }
+        }
+        let ns_per_op = started.elapsed().as_nanos() as f64 / ops as f64;
+        best = best.min(ns_per_op);
+    }
+    Bench { name, ns_per_op: best, ops_per_sec: 1e9 / best }
+}
+
+/// Formats a float with enough precision for the JSON report without
+/// dragging in a float-formatting dependency.
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Runs the pinned suite and writes the JSON report.
+///
+/// # Errors
+///
+/// Propagates figure-sweep and file-write failures.
+pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
+    let out_path = flags.get_or("out", "BENCH.json");
+    let quick = flags.get_or("quick", "0") != "0";
+    // Full mode uses a 300 ms window per benchmark (~4 s total); quick
+    // mode trades precision for a fast smoke signal in CI.
+    let window = if quick { Duration::from_millis(40) } else { Duration::from_millis(300) };
+
+    let mut benches: Vec<Bench> = Vec::new();
+    let mut progress = String::new();
+
+    // 1. Counter increments: the innermost loop of the simulator.
+    {
+        let mut line = MorphLine::new(MorphMode::ZccRebase);
+        let mut rng = SplitMix64::new(2);
+        benches.push(measure("counter_increment_morph", window, || {
+            let slot = (rng.next_u64() % 128) as usize;
+            std::hint::black_box(line.increment(slot));
+        }));
+        let mut line = SplitLine::new(SplitConfig::with_arity(64));
+        benches.push(measure("counter_increment_sc64", window, || {
+            std::hint::black_box(line.increment(std::hint::black_box(7)));
+        }));
+    }
+
+    // 2. One-time-pad generation: batched T-table path vs the scalar
+    //    per-block reference.
+    {
+        let cipher = CtrModeCipher::new([0x42u8; 16]);
+        let mut counter = 0u64;
+        benches.push(measure("otp_64b", window, || {
+            counter = counter.wrapping_add(1) & ((1 << 56) - 1);
+            std::hint::black_box(cipher.one_time_pad(0x8000, counter));
+        }));
+        let mut counter = 0u64;
+        benches.push(measure("otp_64b_reference", window, || {
+            counter = counter.wrapping_add(1) & ((1 << 56) - 1);
+            std::hint::black_box(cipher.one_time_pad_reference(0x8000, counter));
+        }));
+    }
+
+    // 3. Engine reads/writes: the flat-store engine vs the frozen HashMap
+    //    reference, identical configuration and access stream. The gated
+    //    pair runs the paper's cache configuration with cache-resident
+    //    metadata (the representative regime); the `_cold` pair is an
+    //    informational miss-storm stress.
+    {
+        let config = TreeConfig::morphtree();
+        let mut out = Vec::with_capacity(512);
+
+        // Pre-touch every line once so the steady-state measurement starts
+        // from a warm cache in both engines.
+        let mut e = MetadataEngine::new(config.clone(), MEMORY, CACHE, MacMode::Inline);
+        for line in 0..HOT_READ_LINES {
+            out.clear();
+            e.read(line, &mut out);
+        }
+        let mut rng = SplitMix64::new(3);
+        benches.push(measure("engine_read", window, || {
+            let line = rng.next_u64() % HOT_READ_LINES;
+            out.clear();
+            e.read(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+
+        let mut e = ReferenceEngine::new(config.clone(), MEMORY, CACHE, MacMode::Inline);
+        for line in 0..HOT_READ_LINES {
+            out.clear();
+            e.read(line, &mut out);
+        }
+        let mut rng = SplitMix64::new(3);
+        benches.push(measure("engine_read_reference", window, || {
+            let line = rng.next_u64() % HOT_READ_LINES;
+            out.clear();
+            e.read(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+
+        let mut e = MetadataEngine::new(config.clone(), MEMORY, CACHE, MacMode::Inline);
+        let mut rng = SplitMix64::new(4);
+        benches.push(measure("engine_write", window, || {
+            let line = rng.next_u64() % HOT_LINES;
+            out.clear();
+            e.write(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+
+        let mut e = ReferenceEngine::new(config.clone(), MEMORY, CACHE, MacMode::Inline);
+        let mut rng = SplitMix64::new(4);
+        benches.push(measure("engine_write_reference", window, || {
+            let line = rng.next_u64() % HOT_LINES;
+            out.clear();
+            e.write(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+
+        let mut e = MetadataEngine::new(config.clone(), MEMORY, COLD_CACHE, MacMode::Inline);
+        let mut rng = SplitMix64::new(5);
+        benches.push(measure("engine_read_cold", window, || {
+            let line = rng.next_u64() % FOOTPRINT_LINES;
+            out.clear();
+            e.read(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+
+        let mut e = ReferenceEngine::new(config, MEMORY, COLD_CACHE, MacMode::Inline);
+        let mut rng = SplitMix64::new(5);
+        benches.push(measure("engine_read_cold_reference", window, || {
+            let line = rng.next_u64() % FOOTPRINT_LINES;
+            out.clear();
+            e.read(std::hint::black_box(line), &mut out);
+            std::hint::black_box(out.len());
+        }));
+    }
+
+    for b in &benches {
+        writeln!(
+            progress,
+            "{:<28} {:>10} ns/op {:>14.0} ops/s",
+            b.name, number(b.ns_per_op), b.ops_per_sec
+        )
+        .expect("write to string");
+    }
+
+    // 4. One full figure sweep, end to end.
+    let sweep_ms = run_sweep(quick)?;
+    writeln!(progress, "{:<28} {sweep_ms:>10} ms wall-clock", "sweep_fig07").expect("write");
+
+    let ratio = |fast: &str, slow: &str| -> f64 {
+        let get = |name: &str| benches.iter().find(|b| b.name == name).map_or(0.0, |b| b.ns_per_op);
+        let (f, s) = (get(fast), get(slow));
+        if f > 0.0 {
+            s / f
+        } else {
+            0.0
+        }
+    };
+    let speedups = [
+        ("engine_read", ratio("engine_read", "engine_read_reference")),
+        ("engine_write", ratio("engine_write", "engine_write_reference")),
+        ("engine_read_cold", ratio("engine_read_cold", "engine_read_cold_reference")),
+        ("otp_64b", ratio("otp_64b", "otp_64b_reference")),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"morphtree-perf-v1\",\n");
+    writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" }).expect("write");
+    json.push_str("  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let comma = if i + 1 == benches.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"ops_per_sec\": {}}}{comma}",
+            b.name,
+            number(b.ns_per_op),
+            number(b.ops_per_sec),
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {\n");
+    for (i, (name, value)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        writeln!(json, "    \"{name}\": {}{comma}", number(*value)).expect("write to string");
+    }
+    json.push_str("  },\n");
+    writeln!(json, "  \"sweep\": {{\"figure\": \"fig07\", \"wall_ms\": {sweep_ms}}}").expect("write");
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json)
+        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+
+    let mut summary = progress;
+    writeln!(summary, "\nspeedups vs in-process pre-optimization baselines:").expect("write");
+    for (name, value) in speedups {
+        writeln!(summary, "  {name:<14} {:>6}x", number(value)).expect("write to string");
+    }
+    writeln!(summary, "\nreport written to {out_path}").expect("write to string");
+    Ok(summary)
+}
+
+/// Runs the `fig07` sweep once and returns its wall-clock milliseconds.
+fn run_sweep(quick: bool) -> Result<u64, CliError> {
+    use morphtree_experiments::{driver, Lab, Setup};
+
+    // Quick mode shrinks the model so CI stays fast; full mode matches
+    // the `sweep` command's defaults.
+    let setup = if quick {
+        Setup { scale: 64, warmup_instructions: 200_000, measure_instructions: 100_000, seed: 42 }
+    } else {
+        Setup {
+            scale: 16,
+            warmup_instructions: 4_000_000,
+            measure_instructions: 2_000_000,
+            seed: 42,
+        }
+    };
+    let mut lab = Lab::new(setup);
+    // Timing only: don't overwrite `results/` from a perf run.
+    lab.emit_reports = false;
+    let started = Instant::now();
+    let outcome = driver::run_figures(&mut lab, &["fig07"]).map_err(err)?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    if let Some(summary) = outcome.failure_summary() {
+        return Err(err(summary));
+    }
+    Ok(wall_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_throughput() {
+        let mut x = 0u64;
+        let b = measure("noop", Duration::from_millis(5), || x = x.wrapping_add(1));
+        assert!(b.ns_per_op > 0.0);
+        assert!(b.ops_per_sec > 0.0);
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn number_formats_finite_and_guards_nonfinite() {
+        assert_eq!(number(1.5), "1.500");
+        assert_eq!(number(f64::NAN), "null");
+    }
+}

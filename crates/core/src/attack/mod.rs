@@ -494,7 +494,7 @@ fn mount(
             let snap = m.snapshot(victim_line)?;
             let payload = random_payload(rng);
             m.write(victim_line, &payload); // the victim moves on …
-            m.replay(&snap); // … and the adversary rolls DRAM back.
+            m.replay(snap); // … and the adversary rolls DRAM back.
             let (line_idx, _, _) = covering(m.geometry(), 0, victim_line);
             // The stale counter line fails its MAC: its parent advanced.
             IntegrityError::CounterMac { level: 0, line_idx }

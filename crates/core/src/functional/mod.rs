@@ -32,12 +32,11 @@
 //! assert!(mem.read(3).is_err());
 //! ```
 
-use std::collections::HashMap;
-
 use morphtree_crypto::{CtrModeCipher, MacKey};
 
 use crate::counters::{CounterLine, IncrementOutcome, Line};
 use crate::error::{IntegrityError, TamperError};
+use crate::store::PagedStore;
 use crate::tree::{TreeConfig, TreeGeometry};
 use crate::CACHELINE_BYTES;
 
@@ -65,17 +64,23 @@ pub struct SecureMemory {
     cipher: CtrModeCipher,
     mac_key: MacKey,
     /// Ciphertext per data line (absent = never written; reads return
-    /// zeroes without touching the tree).
-    data: HashMap<u64, [u8; CACHELINE_BYTES]>,
+    /// zeroes without touching the tree). Paged flat store keyed by line
+    /// index (see [`crate::store`]).
+    data: PagedStore<[u8; CACHELINE_BYTES]>,
     /// MAC per data line.
-    data_macs: HashMap<u64, u64>,
+    data_macs: PagedStore<u64>,
     /// Counter lines per level; each line's `mac()` field holds its stored
     /// MAC (keyed by its parent counter). The root level is on-chip and
     /// needs no MAC.
-    levels: Vec<HashMap<u64, Line>>,
+    levels: Vec<PagedStore<Line>>,
     /// Count of child re-encryptions performed due to counter overflows
     /// (observable cost, for tests and examples).
     reencryptions: u64,
+    /// Reusable scratch for the pre-increment counter snapshot in
+    /// [`SecureMemory::bump`]: one allocation for the memory's lifetime
+    /// instead of one per counter bump. A frame is always done with the
+    /// scratch before it recurses, so a single buffer suffices.
+    bump_scratch: Vec<u64>,
 }
 
 impl SecureMemory {
@@ -92,15 +97,19 @@ impl SecureMemory {
         let geometry = TreeGeometry::new(&config, memory_bytes);
         let mut mac_seed = key;
         mac_seed[0] ^= 0x5a; // domain separation from the encryption key
-        let num_levels = geometry.levels().len();
         SecureMemory {
             config,
             cipher: CtrModeCipher::new(key),
             mac_key: MacKey::new(mac_seed),
-            data: HashMap::new(),
-            data_macs: HashMap::new(),
-            levels: vec![HashMap::new(); num_levels],
+            data: PagedStore::new(geometry.data_lines()),
+            data_macs: PagedStore::new(geometry.data_lines()),
+            levels: geometry
+                .levels()
+                .iter()
+                .map(|level| PagedStore::new(level.lines))
+                .collect(),
             reencryptions: 0,
+            bump_scratch: Vec::new(),
             geometry,
         }
     }
@@ -122,7 +131,7 @@ impl SecureMemory {
     pub fn counter_of(&self, data_line: u64) -> u64 {
         let (line_idx, slot) = self.geometry.parent_of(0, data_line);
         self.levels[0]
-            .get(&line_idx)
+            .get(line_idx)
             .map_or(0, |line| line.get(slot))
     }
 
@@ -132,9 +141,7 @@ impl SecureMemory {
 
     fn line_or_new(&mut self, level: usize, line_idx: u64) -> &mut Line {
         let org = self.config.org(level);
-        self.levels[level]
-            .entry(line_idx)
-            .or_insert_with(|| org.new_line())
+        self.levels[level].get_or_insert_with(line_idx, || org.new_line())
     }
 
     /// MAC of a metadata line at `level`, keyed by its parent counter.
@@ -146,7 +153,7 @@ impl SecureMemory {
         } else {
             let (parent_idx, slot) = self.geometry.parent_of(level + 1, line_idx);
             self.levels[level + 1]
-                .get(&parent_idx)
+                .get(parent_idx)
                 .map_or(0, |line| line.get(slot))
         };
         let addr = self.geometry.line_addr(level, line_idx);
@@ -167,7 +174,7 @@ impl SecureMemory {
     /// `old_counter` to the current value.
     fn reencrypt_data_child(&mut self, data_line: u64, old_counter: u64) {
         let addr = self.data_addr(data_line);
-        if let Some(ciphertext) = self.data.get(&data_line).copied() {
+        if let Some(ciphertext) = self.data.get(data_line).copied() {
             let plaintext = self.cipher.decrypt_line(addr, old_counter, &ciphertext);
             let new_counter = self.counter_of(data_line);
             let fresh = self.cipher.encrypt_line(addr, new_counter, &plaintext);
@@ -184,11 +191,15 @@ impl SecureMemory {
         let (line_idx, slot) = self.geometry.parent_of(level, child_idx);
         let arity = self.geometry.levels()[level].arity;
 
-        // Snapshot child counters in case an overflow changes them.
-        let old_values: Vec<u64> = {
+        // Snapshot child counters in case an overflow changes them, reusing
+        // the memory-lifetime scratch buffer (taken out of `self` so the
+        // repair calls below can borrow `self` mutably).
+        let mut old_values = std::mem::take(&mut self.bump_scratch);
+        old_values.clear();
+        {
             let line = self.line_or_new(level, line_idx);
-            (0..arity).map(|s| line.get(s)).collect()
-        };
+            old_values.extend((0..arity).map(|s| line.get(s)));
+        }
 
         let outcome = self.line_or_new(level, line_idx).increment(slot);
 
@@ -208,13 +219,16 @@ impl SecureMemory {
                 } else {
                     // Child counter line's MAC is keyed by its (changed)
                     // parent counter: recompute it.
-                    if self.levels[level - 1].contains_key(&child) {
+                    if self.levels[level - 1].contains(child) {
                         self.refresh_line_mac(level - 1, child);
                         self.reencryptions += 1;
                     }
                 }
             }
         }
+        // This frame is done with the snapshot; hand the buffer back before
+        // recursing so the parent frame reuses the same allocation.
+        self.bump_scratch = old_values;
 
         // Propagate the write upward (replay protection: the parent counter
         // must advance whenever this line changes), then re-MAC this line
@@ -246,7 +260,7 @@ impl SecureMemory {
     /// or replay is detected.
     pub fn read(&self, data_line: u64) -> Result<[u8; CACHELINE_BYTES], IntegrityError> {
         assert!(data_line < self.geometry.data_lines(), "data line out of range");
-        let Some(ciphertext) = self.data.get(&data_line) else {
+        let Some(ciphertext) = self.data.get(data_line) else {
             // Never written: defined to read as zeroes.
             return Ok([0u8; CACHELINE_BYTES]);
         };
@@ -256,7 +270,7 @@ impl SecureMemory {
         // A written line must have a stored MAC. Treating a missing MAC as
         // "0" would hand an adversary a trivially forgeable sentinel value;
         // make the inconsistency a verification failure instead.
-        let Some(&stored) = self.data_macs.get(&data_line) else {
+        let Some(&stored) = self.data_macs.get(data_line) else {
             return Err(IntegrityError::MissingMac { line_addr: addr });
         };
         if stored != expect {
@@ -271,7 +285,7 @@ impl SecureMemory {
         let mut child = data_line;
         for level in 0..=self.geometry.top_level() {
             let (line_idx, _) = self.geometry.parent_of(level, child);
-            if let Some(line) = self.levels[level].get(&line_idx) {
+            if let Some(line) = self.levels[level].get(line_idx) {
                 if level < self.geometry.top_level() {
                     let body = line.encode_for_mac();
                     let expect = self.counter_line_mac(level, line_idx, &body);
@@ -312,7 +326,7 @@ impl SecureMemory {
         }
         let line = self
             .data
-            .get_mut(&data_line)
+            .get_mut(data_line)
             .ok_or(TamperError::NeverWritten { data_line })?;
         line[offset] ^= mask;
         Ok(())
@@ -326,7 +340,7 @@ impl SecureMemory {
     pub fn tamper_mac(&mut self, data_line: u64, mask: u64) -> Result<(), TamperError> {
         let mac = self
             .data_macs
-            .get_mut(&data_line)
+            .get_mut(data_line)
             .ok_or(TamperError::NeverWritten { data_line })?;
         *mac ^= mask;
         Ok(())
@@ -363,7 +377,7 @@ impl SecureMemory {
             .levels
             .get_mut(level)
             .ok_or(TamperError::NoSuchLevel { level, levels })?
-            .get_mut(&line_idx)
+            .get_mut(line_idx)
             .ok_or(TamperError::NoCounterLine { level, line_idx })?;
         if slot >= line.arity() {
             return Err(TamperError::SlotOutOfRange { slot, arity: line.arity() });
@@ -390,7 +404,7 @@ impl SecureMemory {
             .levels
             .get_mut(level)
             .ok_or(TamperError::NoSuchLevel { level, levels })?
-            .get_mut(&line_idx)
+            .get_mut(line_idx)
             .ok_or(TamperError::NoCounterLine { level, line_idx })?;
         let mac = line.mac();
         line.set_mac(mac ^ mask);
@@ -406,37 +420,26 @@ impl SecureMemory {
     /// Returns [`TamperError::NeverWritten`] if either line has never been
     /// written.
     pub fn splice(&mut self, line_a: u64, line_b: u64) -> Result<(), TamperError> {
-        if !self.data.contains_key(&line_a) {
+        let Some(ct_a) = self.data.get(line_a).copied() else {
             return Err(TamperError::NeverWritten { data_line: line_a });
-        }
-        if !self.data.contains_key(&line_b) {
+        };
+        let Some(ct_b) = self.data.get(line_b).copied() else {
             return Err(TamperError::NeverWritten { data_line: line_b });
-        }
+        };
         if line_a == line_b {
             return Ok(());
         }
-        let ct_a = self.data[&line_a];
-        let ct_b = self.data[&line_b];
         self.data.insert(line_a, ct_b);
         self.data.insert(line_b, ct_a);
-        let mac_a = self.data_macs.get(&line_a).copied();
-        let mac_b = self.data_macs.get(&line_b).copied();
-        match (mac_a, mac_b) {
-            (Some(a), Some(b)) => {
-                self.data_macs.insert(line_a, b);
-                self.data_macs.insert(line_b, a);
-            }
-            // A written line always has a MAC; tolerate asymmetry anyway so
-            // the splice hook itself can never corrupt harness state.
-            (Some(a), None) => {
-                self.data_macs.remove(&line_a);
-                self.data_macs.insert(line_b, a);
-            }
-            (None, Some(b)) => {
-                self.data_macs.insert(line_a, b);
-                self.data_macs.remove(&line_b);
-            }
-            (None, None) => {}
+        // A written line always has a MAC; tolerate asymmetry anyway so the
+        // splice hook itself can never corrupt harness state.
+        let mac_a = self.data_macs.take(line_a);
+        let mac_b = self.data_macs.take(line_b);
+        if let Some(b) = mac_b {
+            self.data_macs.insert(line_a, b);
+        }
+        if let Some(a) = mac_a {
+            self.data_macs.insert(line_b, a);
         }
         Ok(())
     }
@@ -452,17 +455,17 @@ impl SecureMemory {
         let (line_idx, _) = self.geometry.parent_of(0, data_line);
         let ciphertext = *self
             .data
-            .get(&data_line)
+            .get(data_line)
             .ok_or(TamperError::NeverWritten { data_line })?;
         let mac = self
             .data_macs
-            .get(&data_line)
+            .get(data_line)
             .copied()
             .ok_or(TamperError::NeverWritten { data_line })?;
         let counter_line = self
             .levels
             .first()
-            .and_then(|level| level.get(&line_idx))
+            .and_then(|level| level.get(line_idx))
             .cloned()
             .ok_or(TamperError::NoCounterLine { level: 0, line_idx })?;
         Ok(LineSnapshot { data_line, ciphertext, mac, counter_line })
@@ -471,11 +474,15 @@ impl SecureMemory {
     /// Replays a previously captured snapshot — the classic replay attack:
     /// the adversary restores a stale but *self-consistent*
     /// `{data, MAC, counter}` tuple in DRAM.
-    pub fn replay(&mut self, snapshot: &LineSnapshot) {
+    ///
+    /// Consumes the snapshot so its counter line moves back into the store
+    /// instead of being cloned; re-`clone()` the snapshot first to replay
+    /// it more than once.
+    pub fn replay(&mut self, snapshot: LineSnapshot) {
         let (line_idx, _) = self.geometry.parent_of(0, snapshot.data_line);
         self.data.insert(snapshot.data_line, snapshot.ciphertext);
         self.data_macs.insert(snapshot.data_line, snapshot.mac);
-        self.levels[0].insert(line_idx, snapshot.counter_line.clone());
+        self.levels[0].insert(line_idx, snapshot.counter_line);
     }
 }
 
@@ -531,10 +538,10 @@ mod tests {
     fn ciphertext_differs_from_plaintext_and_varies_with_counter() {
         let mut m = mem(TreeConfig::sc64());
         m.write(0, &[0x77; 64]);
-        let ct1 = *m.data.get(&0).unwrap();
+        let ct1 = *m.data.get(0).unwrap();
         assert_ne!(ct1, [0x77; 64]);
         m.write(0, &[0x77; 64]);
-        let ct2 = *m.data.get(&0).unwrap();
+        let ct2 = *m.data.get(0).unwrap();
         assert_ne!(ct1, ct2, "temporal variation from the counter");
     }
 
@@ -626,7 +633,7 @@ mod tests {
         // as a typed MissingMac error.
         let mut m = mem(TreeConfig::morphtree());
         m.write(2, &[7; 64]);
-        m.data_macs.remove(&2);
+        m.data_macs.take(2);
         let err = m.read(2).unwrap_err();
         assert_eq!(err, IntegrityError::MissingMac { line_addr: 2 * 64 });
         // And an adversary forging the old sentinel value fails the MAC
@@ -675,7 +682,7 @@ mod tests {
             let stale = m.snapshot(3).unwrap();
             // Victim updates the line; adversary replays the stale tuple.
             m.write(3, &[0xbb; 64]);
-            m.replay(&stale);
+            m.replay(stale);
             let err = m.read(3).unwrap_err();
             // The stale counter line fails its MAC (its parent advanced).
             assert!(
@@ -691,7 +698,7 @@ mod tests {
         let mut m = mem(TreeConfig::sc64());
         m.write(3, &[0xaa; 64]);
         let snap = m.snapshot(3).unwrap();
-        m.replay(&snap); // replaying the *current* state changes nothing
+        m.replay(snap); // replaying the *current* state changes nothing
         assert_eq!(m.read(3).unwrap(), [0xaa; 64]);
     }
 

@@ -23,6 +23,9 @@
 //!   classes and a seeded, deterministic campaign runner that fires
 //!   randomized attacks against the functional memory and checks each is
 //!   detected at the predicted tree location.
+//! - [`store`] — the lazily-allocated paged flat stores backing the
+//!   engine's and functional memory's per-level line maps (O(1) unhashed
+//!   access over geometry-bounded index spaces).
 //!
 //! # Quick example
 //!
@@ -39,7 +42,9 @@
 //! assert_eq!(line.get(6), 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied rather than forbidden: the metadata cache's AVX2 kernels carry a
+// scoped, documented `allow` — everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -49,6 +54,7 @@ pub mod counters;
 pub mod error;
 pub mod functional;
 pub mod metadata;
+pub mod store;
 pub mod tree;
 
 pub use error::{IntegrityError, TamperError};

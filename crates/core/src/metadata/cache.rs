@@ -1,7 +1,136 @@
 //! The dedicated on-chip metadata cache (Table I: 128 KB, 8-way, 64 B
 //! lines, shared by encryption and integrity-tree counters).
+//!
+//! The cache sits on the hottest path of the simulator — every data
+//! access probes it once per tree level walked — so the layout is tuned
+//! for the probe loop:
+//!
+//! - tags live in one contiguous `u64` slab, so a set's tags span a
+//!   single hardware cacheline (8 ways × 8 bytes) and the 8-way lookup is
+//!   a branchless, vectorizable compare instead of an early-exit scan;
+//! - recency is a per-entry timestamp, not position in an LRU-ordered
+//!   vector, so a hit updates one word instead of shuffling the set with
+//!   `remove` + `push` as the seed implementation did;
+//! - LRU victim selection reduces the packed keys `(tick << 3) | way`
+//!   with a branchless minimum, avoiding the data-dependent branch
+//!   mispredicts of a position scan;
+//! - the set index is a mask when the set count is a power of two (the
+//!   practical case), not a hardware-division modulo.
+//!
+//! Empty ways carry a sentinel tag (`u64::MAX`, never a real line
+//! address) and tick 0, so a fill and an eviction share one victim scan:
+//! tick 0 always wins, and a sentinel victim simply means the set had a
+//! free way.
+//!
+//! Victim selection is semantically identical to the seed's
+//! ordered-vector formulation: plain LRU evicts the minimum timestamp,
+//! and the level-aware policy evicts the minimum `(priority, timestamp)`
+//! — the same line the seed's "first of equal minima in LRU order"
+//! picked. The golden-equivalence suite pins this against the frozen
+//! seed cache inside `super::reference`.
 
 use crate::CACHELINE_BYTES;
+
+/// Tag of an empty way. Line addresses are cacheline-aligned, so a real
+/// tag can never collide with it.
+const SENTINEL: u64 = u64::MAX;
+
+/// The 8 entries of one set as a fixed-size array (for the fixed-width
+/// 8-way kernels).
+///
+/// # Panics
+///
+/// Panics if `slab` is shorter than `base + 8`; all callers guard on
+/// `ways == 8`, which guarantees every set spans 8 slots.
+#[inline]
+fn set8(slab: &[u64], base: usize) -> &[u64; 8] {
+    match slab[base..base + 8].first_chunk::<8>() {
+        Some(array) => array,
+        None => unreachable!("slice of length 8"),
+    }
+}
+
+/// Runtime AVX2 detection, probed once per cache construction.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// AVX2 kernels for the 8-way hot paths: one 256-bit compare pair replaces
+/// the 8-element scalar cmov chain for tag lookup, and a lanewise
+/// min-reduction replaces the victim scan. Selected at construction via
+/// runtime feature detection; the scalar paths remain both the fallback
+/// and the semantic specification (the equivalence tests run either way).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // SIMD intrinsics; every call site documents its proof.
+mod x86 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_blendv_epi8, _mm256_castsi256_pd, _mm256_cmpeq_epi64,
+        _mm256_cmpgt_epi64, _mm256_extract_epi64, _mm256_loadu_si256, _mm256_movemask_pd,
+        _mm256_or_si256, _mm256_permute4x64_epi64, _mm256_set1_epi64x, _mm256_set_epi64x,
+        _mm256_shuffle_epi32, _mm256_slli_epi64,
+    };
+
+    /// Lanewise unsigned min; valid because all inputs fit in 63 bits, so
+    /// the signed 64-bit compare agrees with the unsigned order.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn min_epu64(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b))
+    }
+
+    /// Way index holding `addr` among the 8 tags at `tags`, or
+    /// `usize::MAX` if absent.
+    ///
+    /// # Safety
+    ///
+    /// `tags` must be valid for reads of 8 `u64`s, and the CPU must
+    /// support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn find8(tags: *const u64, addr: u64) -> usize {
+        // SAFETY: the caller guarantees 8 readable u64s.
+        let (lo, hi) = unsafe {
+            (_mm256_loadu_si256(tags.cast()), _mm256_loadu_si256(tags.add(4).cast()))
+        };
+        let needle = _mm256_set1_epi64x(addr as i64);
+        let eq_lo = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lo, needle)));
+        let eq_hi = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(hi, needle)));
+        let mask = (eq_lo as u32 & 0xF) | ((eq_hi as u32 & 0xF) << 4);
+        if mask == 0 {
+            usize::MAX
+        } else {
+            mask.trailing_zeros() as usize
+        }
+    }
+
+    /// Way index of the minimum of the 8 ticks at `ticks` (ties to the
+    /// lowest way, matching the scalar packed-key scan).
+    ///
+    /// # Safety
+    ///
+    /// `ticks` must be valid for reads of 8 `u64`s, each less than
+    /// `1 << 61`, and the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn victim8(ticks: *const u64) -> usize {
+        // SAFETY: the caller guarantees 8 readable u64s.
+        let (lo, hi) = unsafe {
+            (_mm256_loadu_si256(ticks.cast()), _mm256_loadu_si256(ticks.add(4).cast()))
+        };
+        // Pack the way index into the low bits so the reduction is exact.
+        let key_lo = _mm256_or_si256(_mm256_slli_epi64(lo, 3), _mm256_set_epi64x(3, 2, 1, 0));
+        let key_hi = _mm256_or_si256(_mm256_slli_epi64(hi, 3), _mm256_set_epi64x(7, 6, 5, 4));
+        let m = min_epu64(key_lo, key_hi);
+        // Horizontal min: fold 128-bit halves, then 64-bit halves.
+        let m = min_epu64(m, _mm256_permute4x64_epi64::<0b0100_1110>(m));
+        let m = min_epu64(m, _mm256_shuffle_epi32::<0b0100_1110>(m));
+        (_mm256_extract_epi64::<0>(m) as u64 & 7) as usize
+    }
+}
 
 /// Victim-selection policy.
 ///
@@ -27,13 +156,10 @@ pub struct EvictedLine {
     /// Whether it was dirty (and therefore needs a write-back, which in a
     /// secure memory also bumps the parent counter).
     pub dirty: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    addr: u64,
-    dirty: bool,
-    priority: u8,
+    /// Retention priority the line carried — the engine tags lines with
+    /// their tree level, so a dirty eviction can be written back without a
+    /// reverse address lookup.
+    pub priority: u8,
 }
 
 /// A set-associative, write-back, LRU cache keyed by line address.
@@ -54,10 +180,28 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MetadataCache {
-    /// `sets[i]` is ordered LRU → MRU.
-    sets: Vec<Vec<Entry>>,
+    /// Line tags, `ways` consecutive slots per set; [`SENTINEL`] marks an
+    /// empty way.
+    tags: Box<[u64]>,
+    /// Last-touch timestamps, parallel to `tags`; strictly increasing (and
+    /// nonzero for occupied ways), so the minimum over a set is its
+    /// least-recently-used line — or an empty way, which holds 0.
+    ticks: Box<[u64]>,
+    /// Dirty bits, parallel to `tags`.
+    dirty: Box<[bool]>,
+    /// Retention priorities, parallel to `tags`.
+    priority: Box<[u8]>,
     ways: usize,
     policy: ReplacementPolicy,
+    /// `Some(num_sets - 1)` when the set count is a power of two, so
+    /// [`MetadataCache::set_index`] is a mask instead of a modulo.
+    set_mask: Option<u64>,
+    num_sets: usize,
+    /// Whether the AVX2 8-way kernels are usable (detected once here so
+    /// the hot paths branch on a predictable bool).
+    simd: bool,
+    /// Global touch counter feeding `ticks`.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -90,9 +234,18 @@ impl MetadataCache {
         );
         let num_sets = lines / ways;
         MetadataCache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            tags: vec![SENTINEL; lines].into_boxed_slice(),
+            ticks: vec![0; lines].into_boxed_slice(),
+            dirty: vec![false; lines].into_boxed_slice(),
+            priority: vec![0; lines].into_boxed_slice(),
             ways,
             policy,
+            set_mask: num_sets
+                .is_power_of_two()
+                .then_some(num_sets as u64 - 1),
+            num_sets,
+            simd: ways == 8 && avx2_available(),
+            tick: 0,
             hits: 0,
             misses: 0,
         }
@@ -101,13 +254,13 @@ impl MetadataCache {
     /// Number of sets.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Total capacity in bytes.
     #[must_use]
     pub fn capacity_bytes(&self) -> usize {
-        self.sets.len() * self.ways * CACHELINE_BYTES
+        self.tags.len() * CACHELINE_BYTES
     }
 
     /// Demand hits recorded by [`MetadataCache::probe`].
@@ -122,17 +275,104 @@ impl MetadataCache {
         self.misses
     }
 
+    #[inline]
     fn set_index(&self, addr: u64) -> usize {
-        ((addr / CACHELINE_BYTES as u64) % self.sets.len() as u64) as usize
+        let line = addr / CACHELINE_BYTES as u64;
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.num_sets as u64) as usize,
+        }
+    }
+
+    /// Slot index of `addr` within its set, if resident. The 8-way case —
+    /// every configuration in the paper — is one AVX2 compare pair when
+    /// available, else a fixed-width branchless cmov chain; other
+    /// associativities take the generic scan.
+    #[inline]
+    #[allow(unsafe_code)] // see the `x86` module
+    fn find(&self, base: usize, addr: u64) -> Option<usize> {
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            let tags = set8(&self.tags, base);
+            // SAFETY: `simd` implies AVX2 support and 8 ways; the slice
+            // conversion above proves 8 readable u64s.
+            let way = unsafe { x86::find8(tags.as_ptr(), addr) };
+            return (way != usize::MAX).then(|| base + way);
+        }
+        if self.ways == 8 {
+            let tags = set8(&self.tags, base);
+            let mut found = usize::MAX;
+            for (j, &tag) in tags.iter().enumerate() {
+                if tag == addr {
+                    found = j;
+                }
+            }
+            (found != usize::MAX).then(|| base + found)
+        } else {
+            self.tags[base..base + self.ways]
+                .iter()
+                .position(|&tag| tag == addr)
+                .map(|j| base + j)
+        }
+    }
+
+    /// The way to (re)fill on an insertion miss: an empty way if the set
+    /// has one (tick 0 loses every comparison), else the policy's victim.
+    #[inline]
+    #[allow(unsafe_code)] // see the `x86` module
+    fn victim_slot(&self, base: usize) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                #[cfg(target_arch = "x86_64")]
+                if self.simd {
+                    debug_assert!(self.tick < 1 << 61, "tick overflow");
+                    let ticks = set8(&self.ticks, base);
+                    // SAFETY: `simd` implies AVX2 and 8 ways; ticks stay
+                    // below 2^61 (asserted above), as `victim8` requires.
+                    return base + unsafe { x86::victim8(ticks.as_ptr()) };
+                }
+                if self.ways == 8 {
+                    // Branchless min over keys packing the way index into
+                    // the tick's low bits; ticks are unique so ordering by
+                    // key is ordering by tick.
+                    debug_assert!(self.tick < 1 << 61, "tick overflow");
+                    let ticks = set8(&self.ticks, base);
+                    let mut best = ticks[0] << 3;
+                    for (j, &tick) in ticks.iter().enumerate().skip(1) {
+                        let key = (tick << 3) | j as u64;
+                        best = best.min(key);
+                    }
+                    base + (best & 7) as usize
+                } else {
+                    let mut best = base;
+                    for j in base + 1..base + self.ways {
+                        if self.ticks[j] < self.ticks[best] {
+                            best = j;
+                        }
+                    }
+                    best
+                }
+            }
+            ReplacementPolicy::LevelAware => {
+                let mut best = base;
+                for j in base + 1..base + self.ways {
+                    if (self.priority[j], self.ticks[j]) < (self.priority[best], self.ticks[best])
+                    {
+                        best = j;
+                    }
+                }
+                best
+            }
+        }
     }
 
     /// Looks up `addr`, updating recency and hit/miss statistics.
+    #[inline]
     pub fn probe(&mut self, addr: u64) -> bool {
-        let set = self.set_index(addr);
-        let entries = &mut self.sets[set];
-        if let Some(pos) = entries.iter().position(|e| e.addr == addr) {
-            let entry = entries.remove(pos);
-            entries.push(entry);
+        let base = self.set_index(addr) * self.ways;
+        self.tick += 1;
+        if let Some(slot) = self.find(base, addr) {
+            self.ticks[slot] = self.tick;
             self.hits += 1;
             true
         } else {
@@ -144,8 +384,8 @@ impl MetadataCache {
     /// Non-destructive lookup: no recency or statistics update.
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
-        let set = self.set_index(addr);
-        self.sets[set].iter().any(|e| e.addr == addr)
+        let base = self.set_index(addr) * self.ways;
+        self.find(base, addr).is_some()
     }
 
     /// Inserts `addr` as most-recently-used, returning the victim if the
@@ -158,51 +398,68 @@ impl MetadataCache {
     /// Like [`MetadataCache::insert`], tagging the line with a retention
     /// priority (the metadata level). Under [`ReplacementPolicy::Lru`] the
     /// priority is recorded but ignored for victim selection.
+    #[inline]
     pub fn insert_with_priority(
         &mut self,
         addr: u64,
         dirty: bool,
         priority: u8,
     ) -> Option<EvictedLine> {
-        let set = self.set_index(addr);
-        let ways = self.ways;
-        let policy = self.policy;
-        let entries = &mut self.sets[set];
-        if let Some(pos) = entries.iter().position(|e| e.addr == addr) {
-            let mut entry = entries.remove(pos);
-            entry.dirty |= dirty;
-            entry.priority = entry.priority.max(priority);
-            entries.push(entry);
+        debug_assert!(addr != SENTINEL, "u64::MAX is reserved as the empty-way tag");
+        let base = self.set_index(addr) * self.ways;
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.find(base, addr) {
+            self.ticks[slot] = tick;
+            self.dirty[slot] |= dirty;
+            self.priority[slot] = self.priority[slot].max(priority);
             return None;
         }
-        let victim = if entries.len() == ways {
-            let pos = match policy {
-                ReplacementPolicy::Lru => 0,
-                ReplacementPolicy::LevelAware => {
-                    // LRU among the lowest-priority class (vector order is
-                    // LRU -> MRU, and `min_by_key` keeps the first of equal
-                    // minima, i.e. the LRU one).
-                    entries
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, e)| e.priority)
-                        .map_or(0, |(pos, _)| pos)
-                }
-            };
-            let v = entries.remove(pos);
-            Some(EvictedLine { addr: v.addr, dirty: v.dirty })
-        } else {
-            None
-        };
-        entries.push(Entry { addr, dirty, priority });
+        let slot = self.victim_slot(base);
+        let old_tag = self.tags[slot];
+        let victim = (old_tag != SENTINEL).then(|| EvictedLine {
+            addr: old_tag,
+            dirty: self.dirty[slot],
+            priority: self.priority[slot],
+        });
+        self.tags[slot] = addr;
+        self.ticks[slot] = tick;
+        self.dirty[slot] = dirty;
+        self.priority[slot] = priority;
         victim
+    }
+
+    /// Fused probe + dirty re-insert for the write hit path: one lookup
+    /// does the work of [`MetadataCache::probe`] followed by a dirty
+    /// [`MetadataCache::insert_with_priority`] of the same resident line.
+    /// Returns whether the line was resident; on a miss only the miss
+    /// statistic is charged (the caller then fetches and inserts as
+    /// usual).
+    ///
+    /// Equivalent to the probe/insert pair: both schemes touch only this
+    /// address's recency, so every relative LRU order — and therefore
+    /// every future eviction — is identical.
+    #[inline]
+    pub fn touch_dirty(&mut self, addr: u64, priority: u8) -> bool {
+        let base = self.set_index(addr) * self.ways;
+        self.tick += 1;
+        if let Some(slot) = self.find(base, addr) {
+            self.ticks[slot] = self.tick;
+            self.dirty[slot] = true;
+            self.priority[slot] = self.priority[slot].max(priority);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
     }
 
     /// Marks a resident line dirty; returns whether it was resident.
     pub fn mark_dirty(&mut self, addr: u64) -> bool {
-        let set = self.set_index(addr);
-        if let Some(entry) = self.sets[set].iter_mut().find(|e| e.addr == addr) {
-            entry.dirty = true;
+        let base = self.set_index(addr) * self.ways;
+        if let Some(slot) = self.find(base, addr) {
+            self.dirty[slot] = true;
             true
         } else {
             false
@@ -211,19 +468,23 @@ impl MetadataCache {
 
     /// Removes `addr` if resident, returning its dirty bit.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
-        let set = self.set_index(addr);
-        let entries = &mut self.sets[set];
-        entries
-            .iter()
-            .position(|e| e.addr == addr)
-            .map(|pos| entries.remove(pos).dirty)
+        let base = self.set_index(addr) * self.ways;
+        let slot = self.find(base, addr)?;
+        let was_dirty = self.dirty[slot];
+        self.tags[slot] = SENTINEL;
+        self.ticks[slot] = 0;
+        self.dirty[slot] = false;
+        self.priority[slot] = 0;
+        Some(was_dirty)
     }
 
     /// Drops all contents and statistics.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(SENTINEL);
+        self.ticks.fill(0);
+        self.dirty.fill(false);
+        self.priority.fill(0);
+        self.tick = 0;
         self.hits = 0;
         self.misses = 0;
     }
@@ -231,7 +492,7 @@ impl MetadataCache {
     /// Number of resident lines.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|&&tag| tag != SENTINEL).count()
     }
 }
 
@@ -276,6 +537,21 @@ mod tests {
     }
 
     #[test]
+    fn eight_way_set_evicts_true_lru() {
+        let mut c = MetadataCache::new(8 * CACHELINE_BYTES, 8);
+        assert_eq!(c.num_sets(), 1);
+        for k in 0..8 {
+            c.insert(k * CACHELINE_BYTES as u64, false);
+        }
+        // Touch every line except addr 3*64, making it the LRU.
+        for k in [0u64, 1, 2, 4, 5, 6, 7] {
+            assert!(c.probe(k * CACHELINE_BYTES as u64));
+        }
+        let victim = c.insert(8 * CACHELINE_BYTES as u64, false).expect("full");
+        assert_eq!(victim.addr, 3 * CACHELINE_BYTES as u64);
+    }
+
+    #[test]
     fn eviction_reports_dirty_bit() {
         let mut c = tiny();
         let a = addr_in_set(&c, 1, 0);
@@ -284,7 +560,7 @@ mod tests {
         c.insert(a, true);
         c.insert(b, false);
         let victim = c.insert(d, false).unwrap();
-        assert_eq!(victim, EvictedLine { addr: a, dirty: true });
+        assert_eq!(victim, EvictedLine { addr: a, dirty: true, priority: 0 });
     }
 
     #[test]
@@ -300,7 +576,7 @@ mod tests {
         assert_eq!(victim.addr, b, "a was refreshed to MRU");
         // `a`'s dirty bit was ORed in.
         let victim = c.insert(addr_in_set(&c, 0, 3), false).unwrap();
-        assert_eq!(victim, EvictedLine { addr: a, dirty: true });
+        assert_eq!(victim, EvictedLine { addr: a, dirty: true, priority: 0 });
     }
 
     #[test]
@@ -328,6 +604,21 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_then_insert_reuses_the_hole() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert(a, false);
+        c.insert(b, true);
+        assert_eq!(c.invalidate(a), Some(false));
+        assert!(c.contains(b), "the survivor stays resident");
+        // The freed way is reused without an eviction.
+        assert!(c.insert(d, false).is_none());
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
     fn different_sets_do_not_interfere() {
         let mut c = tiny();
         for k in 0..2 {
@@ -352,6 +643,23 @@ mod tests {
     #[should_panic(expected = "incompatible")]
     fn rejects_bad_capacity() {
         let _ = MetadataCache::new(100, 8);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_still_maps_correctly() {
+        // 3 sets x 2 ways: exercises the modulo fallback path.
+        let mut c = MetadataCache::new(6 * CACHELINE_BYTES, 2);
+        assert_eq!(c.num_sets(), 3);
+        for k in 0..2 {
+            for set in 0..3 {
+                c.insert(addr_in_set(&c, set, k), false);
+            }
+        }
+        assert_eq!(c.occupancy(), 6);
+        for set in 0..3 {
+            assert!(c.contains(addr_in_set(&c, set, 0)));
+            assert!(c.contains(addr_in_set(&c, set, 1)));
+        }
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! The metadata engine: tree walks, counter increments, overflow handling
 //! and write propagation (§II-B, §VII-B).
 
-use std::collections::HashMap;
-
 use super::cache::{MetadataCache, ReplacementPolicy};
 use super::stats::{AccessCategory, EngineStats, MemAccess};
 use crate::counters::{CounterLine, IncrementOutcome, Line};
+use crate::store::PagedStore;
 use crate::tree::{TreeConfig, TreeGeometry};
 use crate::CACHELINE_BYTES;
 
@@ -52,6 +51,22 @@ pub struct EngineOptions {
 /// engine then falls back to an uncached read-modify-write for the parent.
 const MAX_CHAIN_DEPTH: usize = 64;
 
+/// Per-level constants the hot path needs, precomputed at construction so
+/// the walk neither chases `TreeGeometry` indirections nor divides:
+/// practical arities are powers of two, so child→parent maps to a shift
+/// and a mask instead of a hardware division.
+#[derive(Debug, Clone, Copy)]
+struct LevelMeta {
+    base_addr: u64,
+    lines: u64,
+    arity: u64,
+    /// `log2(arity)` when the arity is a power of two.
+    arity_shift: Option<u32>,
+    /// Counter organization, for allocating absent lines without chasing
+    /// the config on every bump.
+    org: crate::counters::CounterOrg,
+}
+
 /// The secure-memory metadata controller.
 ///
 /// Owns the per-level counter stores (the union of DRAM and cache state),
@@ -81,12 +96,29 @@ pub struct MetadataEngine {
     config: TreeConfig,
     geometry: TreeGeometry,
     cache: MetadataCache,
-    /// Counter lines per level, created lazily (all-zero).
-    levels: Vec<HashMap<u64, Line>>,
+    /// Counter lines per level, keyed by line index, created lazily
+    /// (all-zero). Line indices are dense and bounded by the geometry, so a
+    /// paged flat store replaces the seed's `HashMap` with O(1) unhashed
+    /// access (see [`crate::store`]).
+    levels: Vec<PagedStore<Line>>,
+    /// Hot-path copy of the per-level geometry (see [`LevelMeta`]).
+    level_meta: Vec<LevelMeta>,
     stats: EngineStats,
     mac_mode: MacMode,
     verification: VerificationMode,
     mac_base: u64,
+    /// Hot-path copies of [`TreeGeometry::top_level`] and
+    /// [`TreeGeometry::data_lines`].
+    top_level: usize,
+    data_lines: u64,
+    /// Reusable `(address, level)` buffer for the upward tree walk. The
+    /// seed engine heap-allocated a `Vec<u64>` per cache miss and then
+    /// *re-derived* each address's level with a linear
+    /// `TreeGeometry::locate` scan; the walk already knows the level, so
+    /// carrying it alongside the address in a persistent buffer removes
+    /// both the allocation and the reverse lookup from the hottest loop in
+    /// the simulator.
+    fetch_scratch: Vec<(u64, u8)>,
 }
 
 impl MetadataEngine {
@@ -148,16 +180,56 @@ impl MetadataEngine {
         let geometry = TreeGeometry::new(&config, memory_bytes);
         let num_levels = geometry.levels().len();
         let mac_base = geometry.levels().last().map_or(0, |last| last.base_addr + last.bytes());
+        let level_meta = geometry
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(idx, level)| LevelMeta {
+                base_addr: level.base_addr,
+                lines: level.lines,
+                arity: level.arity as u64,
+                arity_shift: (level.arity as u64)
+                    .is_power_of_two()
+                    .then(|| (level.arity as u64).trailing_zeros()),
+                org: config.org(idx),
+            })
+            .collect();
         MetadataEngine {
             config,
             cache: MetadataCache::with_policy(cache_bytes, 8, options.replacement),
-            levels: vec![HashMap::new(); num_levels],
+            levels: geometry
+                .levels()
+                .iter()
+                .map(|level| PagedStore::new(level.lines))
+                .collect(),
+            level_meta,
             stats: EngineStats::new(num_levels),
             mac_mode: options.mac_mode,
             verification: options.verification,
+            top_level: geometry.top_level(),
+            data_lines: geometry.data_lines(),
             geometry,
             mac_base,
+            fetch_scratch: Vec::new(),
         }
+    }
+
+    /// Hot-path equivalent of [`TreeGeometry::parent_of`].
+    #[inline]
+    fn parent_of_fast(&self, level: usize, child_idx: u64) -> (u64, usize) {
+        let m = &self.level_meta[level];
+        match m.arity_shift {
+            Some(shift) => (child_idx >> shift, (child_idx & (m.arity - 1)) as usize),
+            None => (child_idx / m.arity, (child_idx % m.arity) as usize),
+        }
+    }
+
+    /// Hot-path equivalent of [`TreeGeometry::line_addr`].
+    #[inline]
+    fn line_addr_fast(&self, level: usize, idx: u64) -> u64 {
+        let m = &self.level_meta[level];
+        debug_assert!(idx < m.lines, "line {idx} out of range at level {level}");
+        m.base_addr + idx * CACHELINE_BYTES as u64
     }
 
     /// The tree configuration.
@@ -196,9 +268,8 @@ impl MetadataEngine {
     #[must_use]
     pub fn counter_value(&self, level: usize, child_idx: u64) -> u64 {
         let (line_idx, slot) = self.geometry.parent_of(level, child_idx);
-        let addr = self.geometry.line_addr(level, line_idx);
         self.levels[level]
-            .get(&addr)
+            .get(line_idx)
             .map_or(0, |line| line.get(slot))
     }
 
@@ -207,21 +278,21 @@ impl MetadataEngine {
     /// Emits the data access, any separate-MAC access, and the counter
     /// fetch chain if the encryption counter misses in the metadata cache.
     pub fn read(&mut self, data_line: u64, out: &mut Vec<MemAccess>) {
-        assert!(data_line < self.geometry.data_lines(), "data line out of range");
+        assert!(data_line < self.data_lines, "data line out of range");
         self.stats.data_reads += 1;
         self.emit(out, data_line * CACHELINE_BYTES as u64, false, AccessCategory::Data, true);
         if self.mac_mode == MacMode::Separate {
             let mac_addr = self.mac_base + (data_line / 8) * CACHELINE_BYTES as u64;
             self.emit(out, mac_addr, false, AccessCategory::Mac, true);
         }
-        let (enc_line, _) = self.geometry.parent_of(0, data_line);
+        let (enc_line, _) = self.parent_of_fast(0, data_line);
         self.ensure_cached(0, enc_line, out, 0);
     }
 
     /// A data write arriving at the memory controller (a dirty LLC
     /// eviction): increments the encryption counter, which may overflow.
     pub fn write(&mut self, data_line: u64, out: &mut Vec<MemAccess>) {
-        assert!(data_line < self.geometry.data_lines(), "data line out of range");
+        assert!(data_line < self.data_lines, "data line out of range");
         self.stats.data_writes += 1;
         self.emit(out, data_line * CACHELINE_BYTES as u64, true, AccessCategory::Data, false);
         if self.mac_mode == MacMode::Separate {
@@ -248,68 +319,90 @@ impl MetadataEngine {
     /// (the last line of a level may be partial).
     fn children_count(&self, level: usize, line_idx: u64) -> usize {
         let total = if level == 0 {
-            self.geometry.data_lines()
+            self.data_lines
         } else {
-            self.geometry.levels()[level - 1].lines
+            self.level_meta[level - 1].lines
         };
-        let arity = self.geometry.levels()[level].arity as u64;
+        let arity = self.level_meta[level].arity;
         (total - line_idx * arity).min(arity) as usize
     }
 
     fn line_mut(&mut self, level: usize, line_idx: u64) -> &mut Line {
-        let addr = self.geometry.line_addr(level, line_idx);
-        let org = self.config.org(level);
-        self.levels[level]
-            .entry(addr)
-            .or_insert_with(|| org.new_line())
+        let org = self.level_meta[level].org;
+        self.levels[level].get_or_insert_with(line_idx, || org.new_line())
     }
 
     /// Brings the counter line at (`level`, `line_idx`) into the metadata
     /// cache, fetching the tree chain above it as needed. Tree-node
     /// addresses are address-computable, so the whole chain issues in
-    /// parallel; every fetch is marked critical.
+    /// parallel; every fetch is marked critical. The common case — the
+    /// line is already cached — is a single probe.
     fn ensure_cached(&mut self, level: usize, line_idx: u64, out: &mut Vec<MemAccess>, depth: usize) {
-        let top = self.geometry.top_level();
-        let mut fetched = Vec::new();
-        let mut l = level;
-        let mut idx = line_idx;
-        while l < top {
-            let addr = self.geometry.line_addr(l, idx);
-            if self.cache.probe(addr) {
-                break;
-            }
-            let gates = self.verification == VerificationMode::Strict;
-            self.emit(out, addr, false, AccessCategory::for_level(l), gates);
-            fetched.push(addr);
-            let (parent_idx, _) = self.geometry.parent_of(l + 1, idx);
-            l += 1;
-            idx = parent_idx;
+        if level >= self.top_level {
+            // The root is pinned on-chip and never fetched.
+            return;
         }
-        // Insert top-down so the requested line ends most-recently-used.
-        for addr in fetched.into_iter().rev() {
-            // Every fetched address came from this geometry's own layout;
-            // a locate miss here would mean the layout is self-inconsistent,
-            // which must stay loud rather than silently mis-prioritise.
-            #[allow(clippy::expect_used)]
-            let (lvl, _) = self.geometry.locate(addr).expect("metadata address");
-            if let Some(evicted) = self.cache.insert_with_priority(addr, false, lvl as u8) {
-                if evicted.dirty {
-                    self.writeback(evicted.addr, out, depth);
-                }
-            }
+        let addr = self.line_addr_fast(level, line_idx);
+        if !self.cache.probe(addr) {
+            self.fetch_chain(level, line_idx, addr, out, depth);
         }
     }
 
+    /// Continuation of [`MetadataEngine::ensure_cached`] after `addr` (the
+    /// line at `level`/`line_idx`) missed: emits its fetch, walks the
+    /// ancestor chain until a cached level, and inserts the fetched lines
+    /// top-down so the requested line ends most-recently-used.
+    fn fetch_chain(
+        &mut self,
+        level: usize,
+        line_idx: u64,
+        addr: u64,
+        out: &mut Vec<MemAccess>,
+        depth: usize,
+    ) {
+        let top = self.top_level;
+        let gates = self.verification == VerificationMode::Strict;
+        // Take the scratch buffer so the insertion loop below can call back
+        // into `self`; a recursive walk (dirty eviction during the fill)
+        // simply starts from an empty buffer of its own.
+        let mut fetched = std::mem::take(&mut self.fetch_scratch);
+        fetched.clear();
+        self.emit(out, addr, false, AccessCategory::for_level(level), gates);
+        fetched.push((addr, level as u8));
+        let (mut idx, _) = self.parent_of_fast(level + 1, line_idx);
+        let mut l = level + 1;
+        while l < top {
+            let addr = self.line_addr_fast(l, idx);
+            if self.cache.probe(addr) {
+                break;
+            }
+            self.emit(out, addr, false, AccessCategory::for_level(l), gates);
+            fetched.push((addr, l as u8));
+            let (parent_idx, _) = self.parent_of_fast(l + 1, idx);
+            l += 1;
+            idx = parent_idx;
+        }
+        // The walk recorded each line's level, so no reverse lookup is
+        // needed to insert.
+        for &(addr, lvl) in fetched.iter().rev() {
+            if let Some(evicted) = self.cache.insert_with_priority(addr, false, lvl) {
+                if evicted.dirty {
+                    self.writeback(evicted.addr, evicted.priority, out, depth);
+                }
+            }
+        }
+        self.fetch_scratch = fetched;
+    }
+
     /// Writes a dirty metadata line back to memory and propagates the write
-    /// to its parent counter — the §II-C mechanism.
-    fn writeback(&mut self, addr: u64, out: &mut Vec<MemAccess>, depth: usize) {
-        // The cache is only ever fed metadata addresses; silently dropping
-        // a writeback on a locate miss would corrupt the traffic model.
-        #[allow(clippy::expect_used)]
-        let (level, idx) = self
-            .geometry
-            .locate(addr)
-            .expect("cache holds only metadata lines");
+    /// to its parent counter — the §II-C mechanism. `level` is the evicted
+    /// line's cache priority, which the engine always sets to its tree
+    /// level, so the line index follows from the level's base address.
+    fn writeback(&mut self, addr: u64, level: u8, out: &mut Vec<MemAccess>, depth: usize) {
+        let level = level as usize;
+        let base = self.level_meta[level].base_addr;
+        debug_assert!(addr >= base, "priority disagrees with address layout");
+        let idx = (addr - base) / CACHELINE_BYTES as u64;
         self.emit(out, addr, true, AccessCategory::for_level(level), false);
         self.bump_counter(level + 1, idx, out, depth + 1);
     }
@@ -317,29 +410,35 @@ impl MetadataEngine {
     /// Increments the counter at `level` covering `child_idx`, handling
     /// caching, dirtiness and overflows.
     fn bump_counter(&mut self, level: usize, child_idx: u64, out: &mut Vec<MemAccess>, depth: usize) {
-        let top = self.geometry.top_level();
+        let top = self.top_level;
         debug_assert!(level <= top, "bump beyond the root");
-        let (line_idx, slot) = self.geometry.parent_of(level, child_idx);
+        let (line_idx, slot) = self.parent_of_fast(level, child_idx);
 
         if level < top {
             if depth < MAX_CHAIN_DEPTH {
-                self.ensure_cached(level, line_idx, out, depth);
-                let addr = self.geometry.line_addr(level, line_idx);
-                if let Some(evicted) = self.cache.insert_with_priority(addr, true, level as u8) {
-                    if evicted.dirty {
-                        self.writeback(evicted.addr, out, depth);
+                let addr = self.line_addr_fast(level, line_idx);
+                // Fused probe + dirty refresh: the hit path (the common
+                // case) is one cache lookup instead of two.
+                if !self.cache.touch_dirty(addr, level as u8) {
+                    self.fetch_chain(level, line_idx, addr, out, depth);
+                    if let Some(evicted) =
+                        self.cache.insert_with_priority(addr, true, level as u8)
+                    {
+                        if evicted.dirty {
+                            self.writeback(evicted.addr, evicted.priority, out, depth);
+                        }
                     }
                 }
             } else {
                 // Backstop for pathological cache shapes: uncached RMW.
-                let addr = self.geometry.line_addr(level, line_idx);
+                let addr = self.line_addr_fast(level, line_idx);
                 self.emit(out, addr, false, AccessCategory::for_level(level), false);
                 self.emit(out, addr, true, AccessCategory::for_level(level), false);
             }
         }
         // The root (level == top) is pinned on-chip: no traffic to update it.
 
-        let arity = self.geometry.levels()[level].arity;
+        let arity = self.level_meta[level].arity as usize;
         let outcome = self.line_mut(level, line_idx).increment(slot);
         match outcome {
             IncrementOutcome::Ok => {}
@@ -366,7 +465,7 @@ impl MetadataEngine {
         span: crate::counters::ReencryptSpan,
         out: &mut Vec<MemAccess>,
     ) {
-        let arity = self.geometry.levels()[level].arity as u64;
+        let arity = self.level_meta[level].arity;
         let children = self.children_count(level, line_idx) as u64;
         for slot in span.slots(arity as usize) {
             let child = line_idx * arity + slot as u64;

@@ -21,8 +21,10 @@
 
 pub mod cache;
 pub mod engine;
+pub mod reference;
 pub mod stats;
 
 pub use cache::{MetadataCache, ReplacementPolicy};
 pub use engine::{EngineOptions, MacMode, MetadataEngine, VerificationMode};
+pub use reference::ReferenceEngine;
 pub use stats::{AccessCategory, EngineStats, MemAccess};

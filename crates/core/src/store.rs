@@ -1,0 +1,231 @@
+//! Lazily-allocated paged flat stores for dense, geometry-bounded key
+//! spaces.
+//!
+//! The metadata engine and the functional secure memory both map *line
+//! indices* (bounded by the tree geometry) to per-line state. The seed
+//! implementation used `HashMap<u64, _>` for these maps, paying a SipHash
+//! plus probe-chain walk on the hottest loads and stores of the whole
+//! simulator. Line indices are dense, bounded, and known at construction
+//! time, so a paged flat vector gives O(1) unhashed access:
+//!
+//! - the *spine* is a `Vec` with one slot per fixed-size page, allocated
+//!   eagerly (8 bytes per [`PAGE_LINES`] lines — negligible);
+//! - each *page* is allocated lazily on first write, so sparsely-touched
+//!   address spaces (random page allocation over big memories) keep the
+//!   sparse-memory footprint the `HashMap` provided.
+//!
+//! [`PagedStore`] deliberately mirrors the small `HashMap` API subset the
+//! engine used (`get` / `get_mut` / `insert` / `take` /
+//! `get_or_insert_with`), so the flat store is a drop-in substitution whose
+//! behavioral equivalence is proven by the golden suite against the frozen
+//! [`crate::metadata::reference::ReferenceEngine`].
+
+/// Entries per lazily-allocated page.
+///
+/// 1024 lines keeps a page of 8-byte values at 8 KiB (a typical malloc
+/// fast-path size) while bounding the eager spine to `capacity / 1024`
+/// pointers.
+pub const PAGE_LINES: usize = 1024;
+
+/// A lazily-allocated paged flat map from a dense `u64` index space to `T`.
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::store::PagedStore;
+///
+/// let mut store: PagedStore<u64> = PagedStore::new(10_000);
+/// assert_eq!(store.get(9_999), None);
+/// store.insert(9_999, 7);
+/// assert_eq!(store.get(9_999), Some(&7));
+/// *store.get_or_insert_with(3, || 40) += 2;
+/// assert_eq!(store.take(3), Some(42));
+/// assert_eq!(store.get(3), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedStore<T> {
+    /// `pages[p]` covers indices `[p * PAGE_LINES, (p + 1) * PAGE_LINES)`.
+    pages: Vec<Option<Box<[Option<T>]>>>,
+    capacity: u64,
+}
+
+impl<T> PagedStore<T> {
+    /// Creates an empty store addressing indices `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        let spine = usize::try_from(capacity.div_ceil(PAGE_LINES as u64))
+            .unwrap_or(usize::MAX);
+        PagedStore {
+            pages: (0..spine).map(|_| None).collect(),
+            capacity,
+        }
+    }
+
+    /// Number of addressable indices.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of pages currently allocated (for footprint inspection).
+    #[must_use]
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    #[inline]
+    fn split(idx: u64) -> (usize, usize) {
+        (
+            (idx / PAGE_LINES as u64) as usize,
+            (idx % PAGE_LINES as u64) as usize,
+        )
+    }
+
+    /// The entry at `idx`, or `None` when absent *or* out of range.
+    ///
+    /// Out-of-range lookups return `None` (not a panic) so adversary hooks
+    /// probing arbitrary indices surface typed errors, as they did with the
+    /// hash maps.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: u64) -> Option<&T> {
+        let (page, slot) = Self::split(idx);
+        self.pages.get(page)?.as_ref()?[slot].as_ref()
+    }
+
+    /// Mutable access to the entry at `idx`; `None` when absent or out of
+    /// range.
+    #[inline]
+    pub fn get_mut(&mut self, idx: u64) -> Option<&mut T> {
+        let (page, slot) = Self::split(idx);
+        self.pages.get_mut(page)?.as_mut()?[slot].as_mut()
+    }
+
+    /// Whether `idx` holds an entry.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, idx: u64) -> bool {
+        self.get(idx).is_some()
+    }
+
+    fn page_mut(&mut self, page: usize) -> &mut [Option<T>] {
+        let slot = &mut self.pages[page];
+        if slot.is_none() {
+            *slot = Some((0..PAGE_LINES).map(|_| None).collect());
+        }
+        // The line above just filled the slot.
+        match slot {
+            Some(page) => page,
+            None => unreachable!("page allocated above"),
+        }
+    }
+
+    /// Inserts `value` at `idx`, returning the previous entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity` — writes come from the tree geometry, so
+    /// an out-of-range write is a layout bug that must stay loud.
+    pub fn insert(&mut self, idx: u64, value: T) -> Option<T> {
+        assert!(idx < self.capacity, "index {idx} out of range (capacity {})", self.capacity);
+        let (page, slot) = Self::split(idx);
+        self.page_mut(page)[slot].replace(value)
+    }
+
+    /// Removes and returns the entry at `idx`; `None` when absent or out of
+    /// range. Pages are never deallocated.
+    pub fn take(&mut self, idx: u64) -> Option<T> {
+        let (page, slot) = Self::split(idx);
+        self.pages.get_mut(page)?.as_mut()?[slot].take()
+    }
+
+    /// The entry at `idx`, inserting `make()` first when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity` (see [`PagedStore::insert`]).
+    pub fn get_or_insert_with<F: FnOnce() -> T>(&mut self, idx: u64, make: F) -> &mut T {
+        assert!(idx < self.capacity, "index {idx} out of range (capacity {})", self.capacity);
+        let (page, slot) = Self::split(idx);
+        self.page_mut(page)[slot].get_or_insert_with(make)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let store: PagedStore<u32> = PagedStore::new(5000);
+        assert_eq!(store.get(0), None);
+        assert_eq!(store.get(4999), None);
+        assert!(!store.contains(17));
+        assert_eq!(store.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip_across_pages() {
+        let mut store = PagedStore::new(10 * PAGE_LINES as u64);
+        for idx in [0, 1, PAGE_LINES as u64 - 1, PAGE_LINES as u64, 5 * PAGE_LINES as u64 + 7] {
+            assert_eq!(store.insert(idx, idx * 3), None);
+        }
+        assert_eq!(store.get(PAGE_LINES as u64), Some(&(PAGE_LINES as u64 * 3)));
+        assert_eq!(store.insert(0, 99), Some(0));
+        assert_eq!(store.get(0), Some(&99));
+        // Only the touched pages were allocated.
+        assert_eq!(store.allocated_pages(), 3);
+    }
+
+    #[test]
+    fn get_mut_and_take() {
+        let mut store = PagedStore::new(100);
+        store.insert(42, String::from("x"));
+        store.get_mut(42).unwrap().push('y');
+        assert_eq!(store.take(42).as_deref(), Some("xy"));
+        assert_eq!(store.take(42), None);
+        assert_eq!(store.get_mut(41), None);
+    }
+
+    #[test]
+    fn get_or_insert_with_creates_once() {
+        let mut store = PagedStore::new(100);
+        *store.get_or_insert_with(7, || 10) += 1;
+        *store.get_or_insert_with(7, || unreachable!("already present")) += 1;
+        assert_eq!(store.get(7), Some(&12));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none_not_panics() {
+        let mut store: PagedStore<u8> = PagedStore::new(10);
+        assert_eq!(store.get(10), None);
+        assert_eq!(store.get(u64::MAX), None);
+        assert_eq!(store.get_mut(999), None);
+        assert_eq!(store.take(999), None);
+        assert!(!store.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut store: PagedStore<u8> = PagedStore::new(10);
+        store.insert(10, 1);
+    }
+
+    #[test]
+    fn zero_capacity_store_is_inert() {
+        let store: PagedStore<u8> = PagedStore::new(0);
+        assert_eq!(store.get(0), None);
+        assert_eq!(store.capacity(), 0);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PagedStore::new(100);
+        a.insert(3, 1u32);
+        let mut b = a.clone();
+        b.insert(3, 2);
+        assert_eq!(a.get(3), Some(&1));
+        assert_eq!(b.get(3), Some(&2));
+    }
+}

@@ -21,13 +21,47 @@ use std::time::{Duration, Instant};
 /// Re-export of [`std::hint::black_box`], criterion-style.
 pub use std::hint::black_box;
 
-const WARM_UP: Duration = Duration::from_millis(300);
-const MEASURE: Duration = Duration::from_secs(1);
+/// Default sample size; scales the windows to criterion's usual
+/// 300 ms warm-up / 1 s measurement.
+const DEFAULT_SAMPLE_SIZE: u64 = 100;
+/// Lower bound on `--sample-size`, criterion-style: below this the mean is
+/// too noisy to be meaningful even for a smoke run.
+const MIN_SAMPLE_SIZE: u64 = 10;
+/// Measurement window contributed per sample (100 samples → 1 s).
+const MEASURE_PER_SAMPLE: Duration = Duration::from_millis(10);
+/// Warm-up window contributed per sample (100 samples → 300 ms).
+const WARM_UP_PER_SAMPLE: Duration = Duration::from_millis(3);
 
 /// The benchmark harness entry point.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    /// Reads `--sample-size N` from the process arguments (the flag real
+    /// criterion accepts), clamped to a floor of 10; CI passes
+    /// `--sample-size 10` for a fast smoke run.
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let sample_size = sample_size_from(&args);
+        Criterion {
+            warm_up: WARM_UP_PER_SAMPLE * u32::try_from(sample_size).unwrap_or(u32::MAX),
+            measure: MEASURE_PER_SAMPLE * u32::try_from(sample_size).unwrap_or(u32::MAX),
+        }
+    }
+}
+
+/// Extracts `--sample-size N` from an argument list, applying the default
+/// and the floor.
+fn sample_size_from(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--sample-size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SAMPLE_SIZE)
+        .max(MIN_SAMPLE_SIZE)
 }
 
 impl Criterion {
@@ -35,7 +69,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         eprintln!("\n== {name} ==");
-        BenchmarkGroup { _criterion: self, name, throughput: None }
+        BenchmarkGroup { criterion: self, name, throughput: None }
     }
 }
 
@@ -50,7 +84,7 @@ pub enum Throughput {
 
 /// A group of benchmarks sharing a name prefix and throughput setting.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
 }
@@ -71,14 +105,14 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher { total: Duration::ZERO, iterations: 0 };
 
         // Warm-up: run without recording.
-        let warm_up_end = Instant::now() + WARM_UP;
+        let warm_up_end = Instant::now() + self.criterion.warm_up;
         while Instant::now() < warm_up_end {
             f(&mut bencher);
         }
         bencher.total = Duration::ZERO;
         bencher.iterations = 0;
 
-        let measure_end = Instant::now() + MEASURE;
+        let measure_end = Instant::now() + self.criterion.measure;
         while Instant::now() < measure_end {
             f(&mut bencher);
         }
@@ -187,6 +221,31 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
         assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
         assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+
+    #[test]
+    fn sample_size_flag_is_parsed_with_default_and_floor() {
+        let to_args = |s: &[&str]| s.iter().map(|a| (*a).to_string()).collect::<Vec<_>>();
+        assert_eq!(sample_size_from(&to_args(&["bench"])), DEFAULT_SAMPLE_SIZE);
+        assert_eq!(
+            sample_size_from(&to_args(&["bench", "--sample-size", "20"])),
+            20
+        );
+        assert_eq!(
+            sample_size_from(&to_args(&["bench", "--sample-size", "3"])),
+            MIN_SAMPLE_SIZE,
+            "floor applies"
+        );
+        assert_eq!(
+            sample_size_from(&to_args(&["bench", "--sample-size", "bogus"])),
+            DEFAULT_SAMPLE_SIZE,
+            "unparsable value falls back to the default"
+        );
+        assert_eq!(
+            sample_size_from(&to_args(&["bench", "--sample-size"])),
+            DEFAULT_SAMPLE_SIZE,
+            "missing value falls back to the default"
+        );
     }
 
     #[test]

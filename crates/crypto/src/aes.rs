@@ -5,10 +5,23 @@
 //! the forward direction — the pad is XORed for both encryption and
 //! decryption — so the inverse cipher is deliberately not implemented.
 //!
-//! This is a straightforward table-free implementation: the S-box is a
-//! constant table, `MixColumns` uses xtime arithmetic. It is not intended to
-//! be constant-time or fast; the simulator models *when* OTPs are generated,
-//! and the functional secure memory only needs correctness.
+//! Two equivalent paths are provided:
+//!
+//! - [`Aes128::encrypt_block`] — the default **T-table** path: SubBytes,
+//!   ShiftRows and MixColumns of a full round collapse into four 256-entry
+//!   u32 lookup tables (built at compile time from the S-box), so a round
+//!   is 16 table loads and a handful of XORs. This is the classic software
+//!   AES formulation (Rijndael reference code, OpenSSL's `aes_core.c`).
+//! - [`Aes128::encrypt_block_scalar`] — the original table-free path: the
+//!   S-box as a byte table, `MixColumns` via xtime arithmetic. Kept as the
+//!   independently-auditable reference; a property test asserts both paths
+//!   agree on random keys and blocks, and both are pinned to the FIPS-197
+//!   vectors.
+//!
+//! Neither path is constant-time — the simulator models *when* pads are
+//! generated, and the functional secure memory only needs correctness —
+//! but OTP generation sits on the hot path of every functional-memory
+//! access, so the fast path matters for sweep wall-clock.
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -38,7 +51,7 @@ const ROUNDS: usize = 10;
 
 /// Multiply a field element by `x` (i.e. `{02}`) in GF(2^8).
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     let shifted = b << 1;
     if b & 0x80 != 0 {
         shifted ^ 0x1b
@@ -46,6 +59,42 @@ fn xtime(b: u8) -> u8 {
         shifted
     }
 }
+
+/// Builds the base encryption T-table: entry `i` is the MixColumns product
+/// `S[i] · (02, 01, 01, 03)ᵀ` packed as a big-endian column, so one round's
+/// SubBytes + MixColumns for one byte is a single lookup.
+const fn build_te0() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s); // {02}·S
+        let s3 = s2 ^ s; // {03}·S
+        table[i] =
+            ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    table
+}
+
+/// Byte-rotates every entry of `table` right by `bytes` positions — TE1–TE3
+/// are rotations of TE0, one per MixColumns row.
+const fn rotate_table(table: [u32; 256], bytes: u32) -> [u32; 256] {
+    let mut out = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        out[i] = table[i].rotate_right(8 * bytes);
+        i += 1;
+    }
+    out
+}
+
+/// T-tables, generated from the S-box at compile time (no opaque constants
+/// to audit: `TE0[i]` is provably `S[i] · (02,01,01,03)ᵀ`).
+const TE0: [u32; 256] = build_te0();
+const TE1: [u32; 256] = rotate_table(TE0, 1);
+const TE2: [u32; 256] = rotate_table(TE0, 2);
+const TE3: [u32; 256] = rotate_table(TE0, 3);
 
 /// AES-128 with a pre-expanded key schedule.
 ///
@@ -71,6 +120,9 @@ fn xtime(b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],
+    /// The same schedule as big-endian u32 column words, pre-packed for the
+    /// T-table path.
+    round_keys_w: [[u32; 4]; ROUNDS + 1],
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -102,16 +154,71 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        let mut round_keys_w = [[0u32; 4]; ROUNDS + 1];
         for (round, round_key) in round_keys.iter_mut().enumerate() {
             for j in 0..4 {
                 round_key[4 * j..4 * j + 4].copy_from_slice(&words[4 * round + j]);
+                round_keys_w[round][j] = u32::from_be_bytes(words[4 * round + j]);
             }
         }
-        Self { round_keys }
+        Self { round_keys, round_keys_w }
     }
 
-    /// Encrypts one 16-byte block.
+    /// Encrypts one 16-byte block (T-table path; the default).
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rk = &self.round_keys_w;
+        // Big-endian column words: bits 31..24 are row 0 of the column.
+        let mut c0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0][0];
+        let mut c1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[0][1];
+        let mut c2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[0][2];
+        let mut c3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[0][3];
+        // ShiftRows is folded into the table indexing: output column j draws
+        // row r from input column j + r (mod 4).
+        for round in rk.iter().take(ROUNDS).skip(1) {
+            let t0 = TE0[(c0 >> 24) as usize]
+                ^ TE1[((c1 >> 16) & 0xff) as usize]
+                ^ TE2[((c2 >> 8) & 0xff) as usize]
+                ^ TE3[(c3 & 0xff) as usize]
+                ^ round[0];
+            let t1 = TE0[(c1 >> 24) as usize]
+                ^ TE1[((c2 >> 16) & 0xff) as usize]
+                ^ TE2[((c3 >> 8) & 0xff) as usize]
+                ^ TE3[(c0 & 0xff) as usize]
+                ^ round[1];
+            let t2 = TE0[(c2 >> 24) as usize]
+                ^ TE1[((c3 >> 16) & 0xff) as usize]
+                ^ TE2[((c0 >> 8) & 0xff) as usize]
+                ^ TE3[(c1 & 0xff) as usize]
+                ^ round[2];
+            let t3 = TE0[(c3 >> 24) as usize]
+                ^ TE1[((c0 >> 16) & 0xff) as usize]
+                ^ TE2[((c1 >> 8) & 0xff) as usize]
+                ^ TE3[(c2 & 0xff) as usize]
+                ^ round[3];
+            c0 = t0;
+            c1 = t1;
+            c2 = t2;
+            c3 = t3;
+        }
+        // Final round: SubBytes + ShiftRows only (no MixColumns).
+        let last = &rk[ROUNDS];
+        let o0 = final_round_word(c0, c1, c2, c3) ^ last[0];
+        let o1 = final_round_word(c1, c2, c3, c0) ^ last[1];
+        let o2 = final_round_word(c2, c3, c0, c1) ^ last[2];
+        let o3 = final_round_word(c3, c0, c1, c2) ^ last[3];
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&o0.to_be_bytes());
+        out[4..8].copy_from_slice(&o1.to_be_bytes());
+        out[8..12].copy_from_slice(&o2.to_be_bytes());
+        out[12..16].copy_from_slice(&o3.to_be_bytes());
+        out
+    }
+
+    /// Encrypts one 16-byte block via the original table-free scalar path
+    /// (S-box + xtime MixColumns). Bit-identical to
+    /// [`Aes128::encrypt_block`]; kept as the equivalence-test reference
+    /// and perf baseline.
+    pub fn encrypt_block_scalar(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..ROUNDS {
@@ -125,6 +232,16 @@ impl Aes128 {
         add_round_key(&mut state, &self.round_keys[ROUNDS]);
         state
     }
+}
+
+/// SubBytes + ShiftRows for one output column of the final round: row `r`
+/// of the output comes from input column `r` positions to the right.
+#[inline]
+fn final_round_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
 }
 
 #[inline]
@@ -227,6 +344,38 @@ mod tests {
         let s = format!("{cipher:?}");
         assert!(s.contains("Aes128"));
         assert!(!s.contains("55"));
+    }
+
+    /// The FIPS vectors pin the T-table path; the scalar reference must
+    /// agree on them too (the proptest suite covers random inputs).
+    #[test]
+    fn scalar_path_matches_fips_vectors() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let cipher = Aes128::new(&key);
+        assert_eq!(cipher.encrypt_block_scalar(&pt), cipher.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn t_tables_derive_from_the_sbox() {
+        // Spot-check the compile-time tables against the defining formula.
+        for i in [0usize, 1, 0x53, 0xca, 0xff] {
+            let s = SBOX[i];
+            let s2 = xtime(s);
+            let s3 = s2 ^ s;
+            let expect =
+                ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+            assert_eq!(TE0[i], expect);
+            assert_eq!(TE1[i], expect.rotate_right(8));
+            assert_eq!(TE2[i], expect.rotate_right(16));
+            assert_eq!(TE3[i], expect.rotate_right(24));
+        }
     }
 
     #[test]

@@ -29,17 +29,38 @@ impl CtrModeCipher {
     ///
     /// Each 16-byte block's seed is `line_addr ‖ counter ‖ block-index`,
     /// so pads for different lines, counters, or sub-blocks never collide.
+    ///
+    /// The seed is built once; between blocks only its final byte changes
+    /// (the block index lives in the top byte of the little-endian counter
+    /// half — effective counters are at most 56 bits wide per §V, so that
+    /// byte is always free). Identical output to
+    /// [`CtrModeCipher::one_time_pad_reference`], without the per-block
+    /// seed rebuild.
     pub fn one_time_pad(&self, line_addr: u64, counter: u64) -> CachelineBytes {
+        let mut pad = [0u8; CACHELINE_BYTES];
+        let mut seed = [0u8; 16];
+        seed[0..8].copy_from_slice(&line_addr.to_le_bytes());
+        seed[8..16].copy_from_slice(&counter.to_le_bytes());
+        let counter_top = (counter >> 56) as u8;
+        for block in 0..CACHELINE_BYTES / 16 {
+            seed[15] = counter_top | block as u8;
+            let ct = self.aes.encrypt_block(&seed);
+            pad[block * 16..block * 16 + 16].copy_from_slice(&ct);
+        }
+        pad
+    }
+
+    /// The seed formulation of [`CtrModeCipher::one_time_pad`]: per-block
+    /// seed construction over the scalar AES path. Kept as the equivalence
+    /// reference and the `morphtree perf` baseline.
+    pub fn one_time_pad_reference(&self, line_addr: u64, counter: u64) -> CachelineBytes {
         let mut pad = [0u8; CACHELINE_BYTES];
         for block in 0..CACHELINE_BYTES / 16 {
             let mut seed = [0u8; 16];
             seed[0..8].copy_from_slice(&line_addr.to_le_bytes());
-            // Fold the block index into the top byte of the counter half;
-            // effective counters are at most 56 bits wide (§V), so the top
-            // byte is always free.
             let tweaked = counter | ((block as u64) << 56);
             seed[8..16].copy_from_slice(&tweaked.to_le_bytes());
-            let ct = self.aes.encrypt_block(&seed);
+            let ct = self.aes.encrypt_block_scalar(&seed);
             pad[block * 16..block * 16 + 16].copy_from_slice(&ct);
         }
         pad
@@ -106,6 +127,23 @@ mod tests {
         assert_ne!(pad[0..16], pad[16..32]);
         assert_ne!(pad[16..32], pad[32..48]);
         assert_ne!(pad[32..48], pad[48..64]);
+    }
+
+    #[test]
+    fn batched_pad_matches_the_reference_formulation() {
+        let c = cipher();
+        for (addr, ctr) in [
+            (0u64, 0u64),
+            (0x40, 1),
+            (!0x3f, (1 << 56) - 1), // top-aligned address, widest legal counter
+            (0x1234_5678_9abc_def0, 0x00aa_bb00_11ff_7701),
+        ] {
+            assert_eq!(
+                c.one_time_pad(addr, ctr),
+                c.one_time_pad_reference(addr, ctr),
+                "addr={addr:#x} ctr={ctr:#x}"
+            );
+        }
     }
 
     #[test]

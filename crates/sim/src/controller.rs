@@ -18,8 +18,6 @@
 //! The experiment `ext_scheduler` replays identical request streams through
 //! both models; `tests` verify the scheduling properties directly.
 
-use std::collections::HashMap;
-
 use crate::dram::{DramGeometry, DramStats, DramTiming};
 
 /// Identifier of an enqueued request.
@@ -74,7 +72,11 @@ pub struct MemoryController {
     config: SchedulerConfig,
     channels: Vec<Channel>,
     banks: Vec<Bank>,
-    completions: HashMap<RequestId, u64>,
+    /// Completion cycle per request, indexed by the sequential request id
+    /// (`completions[id]`). Ids are issued monotonically from zero, so a
+    /// flat `Vec` replaces the hash map the seed used: `enqueue` pushes a
+    /// `None` slot and `service` fills it in.
+    completions: Vec<Option<u64>>,
     next_id: u64,
     stats: DramStats,
 }
@@ -90,7 +92,7 @@ impl MemoryController {
             config,
             channels: (0..geometry.channels).map(|_| Channel::default()).collect(),
             banks: vec![Bank::default(); geometry.total_banks()],
-            completions: HashMap::new(),
+            completions: Vec::new(),
             next_id: 0,
             stats: DramStats::default(),
         }
@@ -119,6 +121,7 @@ impl MemoryController {
     pub fn enqueue(&mut self, at: u64, addr: u64, is_write: bool) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        self.completions.push(None);
         let channel = self.map_channel(addr);
         let pending = Pending { id, arrival: at, addr, is_write };
         if is_write {
@@ -136,11 +139,13 @@ impl MemoryController {
     ///
     /// Panics if `id` was never enqueued.
     pub fn complete(&mut self, id: RequestId) -> u64 {
-        while !self.completions.contains_key(&id) {
+        loop {
+            if let Some(Some(cycle)) = self.completions.get(id.0 as usize) {
+                return *cycle;
+            }
             let progressed = self.step();
             assert!(progressed, "request {id:?} was never enqueued");
         }
-        self.completions[&id]
     }
 
     /// Drains every queued request; returns when all queues are empty.
@@ -250,7 +255,7 @@ impl MemoryController {
             self.stats.reads += 1;
             self.stats.total_read_latency += completion - pending.arrival;
         }
-        self.completions.insert(pending.id, completion);
+        self.completions[pending.id.0 as usize] = Some(completion);
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
     memory.write(42, &secret);
     let stale = memory.snapshot(42).expect("line 42 exists");
     memory.write(42, b"retreat at once!retreat at once!retreat at once!retreat at once!");
-    memory.replay(&stale);
+    memory.replay(stale);
     match memory.read(42) {
         Err(err) => println!("replay detected:    {err}"),
         Ok(_) => unreachable!("replay must not go unnoticed"),

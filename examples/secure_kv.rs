@@ -76,7 +76,7 @@ fn main() {
     let slot = SecureKv::slot_of("alice") % store.capacity;
     let stale = store.memory.snapshot(slot).expect("slot is occupied");
     store.put("alice", 0); // alice spends everything
-    store.memory.replay(&stale); // attacker restores the old 2000
+    store.memory.replay(stale); // attacker restores the old 2000
 
     match store.get("alice") {
         Err(err) => println!("rollback attack detected: {err}"),

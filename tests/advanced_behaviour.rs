@@ -92,7 +92,7 @@ fn single_base_config_protects_end_to_end() {
     assert_eq!(memory.read(100).unwrap(), [19u8; 64]);
     let stale = memory.snapshot(100).unwrap();
     memory.write(100, &[0xee; 64]);
-    memory.replay(&stale);
+    memory.replay(stale);
     assert!(memory.read(100).is_err(), "replay detected under single-base");
 }
 

@@ -51,7 +51,7 @@ fn replay_is_detected_even_after_many_interleaved_writes() {
             memory.write(8, &[round; 64]);
             memory.write(7, &[round ^ 0xff; 64]);
         }
-        memory.replay(&stale);
+        memory.replay(stale);
         assert!(
             matches!(memory.read(7), Err(IntegrityError::CounterMac { .. })),
             "{}",
