@@ -13,7 +13,14 @@
 //! - `attack` — seeded fault-injection campaign against the functional
 //!   model: randomized tamper/replay/splice attacks on every tree config,
 //!   asserting 100% detection at the right tree location;
+//! - `stats` — render a `--metrics` JSON file as a human-readable
+//!   summary;
 //! - `list` — available workloads and tree configurations.
+//!
+//! `simulate`, `sweep`, `attack` and `perf` accept `--metrics PATH` to
+//! dump an observability report (see [`metrics`]): histogram-backed DRAM
+//! latencies, per-level metadata-cache activity, crypto-op counts, and
+//! energy gauges, in one deterministic JSON schema.
 //!
 //! Argument parsing is hand-rolled (`--key value` flags) to keep the
 //! dependency set minimal.
@@ -21,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod perf;
 
 use std::collections::HashMap;
@@ -82,6 +90,12 @@ impl Flags {
         self.values.get(key).map_or(default, String::as_str)
     }
 
+    /// Optional string flag.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// Required string flag.
     ///
     /// # Errors
@@ -141,13 +155,16 @@ pub fn usage() -> String {
      \x20 geometry  [--memory-gib 16] [--config all|sc64|morph|...]\n\
      \x20 simulate  --workload NAME [--config morph] [--scale 16]\n\
      \x20           [--instructions 2000000] [--warmup 4000000] [--seed 42]\n\
+     \x20           [--metrics FILE]\n\
      \x20 capture   --workload NAME --out FILE [--records 100000] [--cores 4]\n\
      \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
      \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
      \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
-     \x20 perf      [--out BENCH.json] [--quick 1]\n\
+     \x20           [--metrics FILE] [--reports 1]\n\
+     \x20 perf      [--out BENCH.json] [--quick 1] [--metrics FILE]\n\
      \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
-     \x20           [--memory-kib 1024] [--lines 96]\n\
+     \x20           [--memory-kib 1024] [--lines 96] [--metrics FILE]\n\
+     \x20 stats     FILE (a --metrics JSON dump)\n\
      \x20 list\n\
      \x20 help\n"
         .to_owned()
@@ -159,6 +176,14 @@ pub fn usage() -> String {
 ///
 /// Returns a [`CliError`] with a user-facing message on bad input.
 pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
+    // `stats` takes a positional file path, which the flag parser would
+    // reject; handle it before parsing.
+    if command == "stats" {
+        let [path] = args else {
+            return Err(err("usage: morphtree stats <metrics.json>"));
+        };
+        return metrics::cmd_stats(path);
+    }
     let flags = Flags::parse(args)?;
     match command {
         "geometry" => cmd_geometry(&flags),
@@ -246,15 +271,19 @@ fn workload_by_name(
 }
 
 fn format_result(result: &morphtree_sim::system::SimResult, baseline_ipc: f64) -> String {
+    // A zero-cycle run has no EDP; render `n/a` rather than NaN.
+    let edp = result
+        .energy
+        .edp()
+        .map_or_else(|| "n/a".to_owned(), |v| format!("{v:.3e}"));
     format!
     (
-        "{:<26} IPC {:>6.3} | vs non-secure {:>6.3} | traffic {:>6.3}/access | ovfl {:>7.1}/M | EDP {:.3e} J*s\n",
+        "{:<26} IPC {:>6.3} | vs non-secure {:>6.3} | traffic {:>6.3}/access | ovfl {:>7.1}/M | EDP {edp} J*s\n",
         result.config,
         result.ipc(),
         result.ipc() / baseline_ipc,
         result.traffic_per_data_access(),
         result.engine.overflows_per_million_accesses(),
-        result.energy.edp(),
     )
 }
 
@@ -271,6 +300,8 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         simulate_nonsecure(&mut w, &cfg)
     };
     out.push_str(&format_result(&base, base.ipc()));
+    let mut registry = morphtree_core::obs::MetricsRegistry::new();
+    metrics::sim_metrics(&mut registry, &format!("sim.{name}.{}", base.config), &base);
     let configs: Vec<TreeConfig> = match flags.get_or("config", "compare") {
         "compare" => vec![TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()],
         other => vec![tree_by_name(other)?],
@@ -279,6 +310,15 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
         let result = simulate(&mut w, tree, &cfg);
         out.push_str(&format_result(&result, base.ipc()));
+        metrics::sim_metrics(
+            &mut registry,
+            &format!("sim.{name}.{}", result.config),
+            &result,
+        );
+    }
+    if let Some(path) = flags.get("metrics") {
+        metrics::write_metrics(path, &registry)?;
+        writeln!(out, "\nmetrics written to {path}").expect("write to string");
     }
     Ok(out)
 }
@@ -335,11 +375,41 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let threads = flags.number_or("threads", 0)? as usize;
     let mut lab = Lab::new(setup);
     lab.set_threads(threads);
+    // `--reports 0` renders in-memory only (no `results/` writes) — used
+    // by tests and by metrics-only invocations at off-default operating
+    // points, which should not overwrite the committed reports.
+    lab.emit_reports = flags.get_or("reports", "1") != "0";
     let outcome = driver::run_figures(&mut lab, &names).map_err(err)?;
     let mut out = String::new();
     if let Some(summary) = outcome.failure_summary() {
         out.push_str(&summary);
         out.push('\n');
+    }
+    if let Some(path) = flags.get("metrics") {
+        // The registry holds only simulation-derived data (no wall-clock
+        // spans), so this file is byte-identical for any --threads value.
+        let mut registry = morphtree_core::obs::MetricsRegistry::new();
+        for (key, result) in lab.sim_results() {
+            let prefix = format!(
+                "sim.{}.{}.c{}.{:?}.{:?}.{:?}",
+                key.workload,
+                key.config,
+                key.cache_bytes,
+                key.mac,
+                key.verification,
+                key.replacement,
+            );
+            metrics::sim_metrics(&mut registry, &prefix, result);
+        }
+        for (key, stats) in lab.engine_results() {
+            let prefix =
+                format!("engine.{}.{}.i{}", key.workload, key.config, key.instructions);
+            metrics::engine_metrics(&mut registry, &prefix, stats);
+        }
+        registry.counter_set("sweep.runs.sim", lab.sim_results().len() as u64);
+        registry.counter_set("sweep.runs.engine", lab.engine_results().len() as u64);
+        metrics::write_metrics(path, &registry)?;
+        writeln!(out, "metrics written to {path}").expect("write to string");
     }
     let rendered = names.len() - outcome.failed_figures.len();
     writeln!(
@@ -373,9 +443,22 @@ fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
     };
     let mut out = String::new();
     let mut missed = Vec::new();
+    let mut registry = morphtree_core::obs::MetricsRegistry::new();
     for (name, tree) in &targets {
         let report = run_campaign(tree, &campaign)
             .map_err(|e| err(format!("campaign on `{name}` failed: {e}")))?;
+        registry.counter_set(
+            &format!("attack.{name}.attempts"),
+            report.total_attempts() as u64,
+        );
+        registry.counter_set(
+            &format!("attack.{name}.detected"),
+            report.total_detected() as u64,
+        );
+        registry.counter_set(
+            &format!("attack.{name}.located"),
+            report.total_located() as u64,
+        );
         out.push_str(&report.render());
         out.push('\n');
         if !report.all_detected() {
@@ -386,6 +469,10 @@ fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
                 report.first_miss().unwrap_or("miss unrecorded"),
             ));
         }
+    }
+    if let Some(path) = flags.get("metrics") {
+        metrics::write_metrics(path, &registry)?;
+        writeln!(out, "metrics written to {path}").expect("write to string");
     }
     if missed.is_empty() {
         writeln!(

@@ -1,0 +1,225 @@
+//! Metrics export (`--metrics <path>`) and the `morphtree stats` renderer.
+//!
+//! Every command that takes `--metrics` writes the same schema: one
+//! [`MetricsRegistry`] JSON object (`{counters, gauges, histograms}`).
+//! Keys are dotted paths prefixed by what produced them
+//! (`sim.<workload>.<config>.dram.read_latency`), storage is `BTreeMap`,
+//! and nothing wall-clock ever enters the registry — so a sweep's metrics
+//! file is byte-identical across `--threads` settings and across reruns.
+//!
+//! `morphtree stats <file>` parses a metrics file back and renders a
+//! human-readable summary; unmeasurable gauges (`null`) print as `n/a`.
+
+use std::fmt::Write as _;
+
+use morphtree_core::metadata::{AccessCategory, EngineStats, STAT_LEVELS};
+use morphtree_core::obs::{parse_json, JsonValue, MetricsRegistry};
+use morphtree_sim::system::SimResult;
+
+use crate::{err, CliError};
+
+/// Folds one full-system simulation into `reg` under `prefix`.
+pub fn sim_metrics(reg: &mut MetricsRegistry, prefix: &str, result: &SimResult) {
+    reg.counter_set(&format!("{prefix}.instructions"), result.instructions);
+    reg.counter_set(&format!("{prefix}.cycles"), result.cycles);
+    reg.gauge_set(&format!("{prefix}.ipc"), Some(result.ipc()));
+    reg.gauge_set(
+        &format!("{prefix}.traffic_per_data_access"),
+        Some(result.traffic_per_data_access()),
+    );
+
+    let d = &result.dram;
+    reg.counter_set(&format!("{prefix}.dram.reads"), d.reads);
+    reg.counter_set(&format!("{prefix}.dram.writes"), d.writes);
+    reg.counter_set(&format!("{prefix}.dram.activates"), d.activates);
+    reg.counter_set(&format!("{prefix}.dram.row_hits"), d.row_hits);
+    reg.counter_set(&format!("{prefix}.dram.refresh_conflicts"), d.refresh_conflicts);
+    reg.gauge_set(&format!("{prefix}.dram.row_hit_rate"), d.row_hit_rate());
+    reg.gauge_set(&format!("{prefix}.dram.mean_read_latency"), d.mean_read_latency());
+    reg.histogram_merge(&format!("{prefix}.dram.read_latency"), &d.read_latency);
+    reg.histogram_merge(&format!("{prefix}.dram.write_latency"), &d.write_latency);
+    reg.histogram_merge(&format!("{prefix}.dram.queue_delay"), &d.queue_delay);
+
+    let c = &result.cache;
+    reg.counter_set(&format!("{prefix}.cache.hits"), c.hits);
+    reg.counter_set(&format!("{prefix}.cache.misses"), c.misses);
+    reg.counter_set(&format!("{prefix}.cache.evictions"), c.evictions());
+    reg.gauge_set(&format!("{prefix}.cache.hit_rate"), c.hit_rate());
+    for level in 0..STAT_LEVELS {
+        let (hits, misses, evicts) =
+            (c.level_hits[level], c.level_misses[level], c.level_evicts[level]);
+        // Quiet levels (beyond the tree height) are omitted, keeping the
+        // file proportional to the actual tree.
+        if hits + misses + evicts == 0 {
+            continue;
+        }
+        reg.counter_set(&format!("{prefix}.cache.l{level}.hits"), hits);
+        reg.counter_set(&format!("{prefix}.cache.l{level}.misses"), misses);
+        reg.counter_set(&format!("{prefix}.cache.l{level}.evicts"), evicts);
+    }
+
+    engine_metrics(reg, prefix, &result.engine);
+
+    let e = &result.energy;
+    reg.gauge_set(&format!("{prefix}.energy.joules"), Some(e.energy_j()));
+    reg.gauge_set(&format!("{prefix}.energy.time_s"), Some(e.time_s));
+    reg.gauge_set(&format!("{prefix}.energy.power_w"), e.power_w());
+    reg.gauge_set(&format!("{prefix}.energy.edp"), e.edp());
+}
+
+/// Folds one metadata-engine study into `reg` under `prefix` (also used
+/// for the engine half of a full simulation).
+pub fn engine_metrics(reg: &mut MetricsRegistry, prefix: &str, s: &EngineStats) {
+    for category in AccessCategory::ALL {
+        let total = s.total(category);
+        if total == 0 {
+            continue;
+        }
+        reg.counter_set(
+            &format!("{prefix}.engine.traffic.{}", category.label()),
+            total,
+        );
+    }
+    reg.counter_set(&format!("{prefix}.engine.overflows"), s.total_overflows());
+    reg.counter_set(&format!("{prefix}.crypto.otp_ops"), s.otp_ops);
+    reg.counter_set(&format!("{prefix}.crypto.mac_ops"), s.mac_ops);
+    reg.histogram_merge(&format!("{prefix}.engine.fetch_depth"), &s.fetch_depths);
+}
+
+/// Writes `reg` to `path` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Surfaces file-system failures as [`CliError`]s.
+pub fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), CliError> {
+    std::fs::write(path, reg.to_json().to_pretty_string())
+        .map_err(|e| err(format!("cannot write {path}: {e}")))
+}
+
+/// The `morphtree stats <file>` command: parses a metrics file and
+/// renders a human-readable summary.
+///
+/// # Errors
+///
+/// Errors on unreadable files and invalid metrics JSON.
+pub fn cmd_stats(path: &str) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let json =
+        parse_json(&text).map_err(|e| err(format!("{path}: invalid metrics JSON: {e}")))?;
+    render_stats(path, &json)
+}
+
+/// Renders one gauge cell: `n/a` when null (unmeasurable), compact
+/// fixed-point otherwise.
+fn gauge_cell(value: &JsonValue) -> String {
+    match value.as_f64() {
+        Some(v) if v.abs() >= 1e6 || (v != 0.0 && v.abs() < 1e-3) => format!("{v:.3e}"),
+        Some(v) => format!("{v:.4}"),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// Renders one histogram summary line from its JSON object.
+fn histogram_cell(h: &JsonValue) -> String {
+    let field = |key: &str| {
+        h.get(key)
+            .and_then(JsonValue::as_u64)
+            .map_or_else(|| "n/a".to_owned(), |v| v.to_string())
+    };
+    let mean = h
+        .get("mean")
+        .and_then(JsonValue::as_f64)
+        .map_or_else(|| "n/a".to_owned(), |v| format!("{v:.1}"));
+    format!(
+        "count {} | mean {mean} | p50 {} | p90 {} | p99 {} | max {}",
+        field("count"),
+        field("p50"),
+        field("p90"),
+        field("p99"),
+        field("max"),
+    )
+}
+
+fn render_stats(path: &str, json: &JsonValue) -> Result<String, CliError> {
+    let section = |key: &str| {
+        json.get(key)
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| err(format!("{path}: metrics JSON has no `{key}` object")))
+    };
+    let counters = section("counters")?;
+    let gauges = section("gauges")?;
+    let histograms = section("histograms")?;
+
+    let width = counters
+        .keys()
+        .chain(gauges.keys())
+        .chain(histograms.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(0);
+
+    let mut out = format!(
+        "metrics from {path} — {} counter(s), {} gauge(s), {} histogram(s)\n",
+        counters.len(),
+        gauges.len(),
+        histograms.len(),
+    );
+    if !counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, value) in counters {
+            let v = value.as_u64().map_or_else(|| "?".to_owned(), |v| v.to_string());
+            writeln!(out, "  {name:<width$}  {v}").expect("write to string");
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("\ngauges:\n");
+        for (name, value) in gauges {
+            writeln!(out, "  {name:<width$}  {}", gauge_cell(value)).expect("write to string");
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("\nhistograms:\n");
+        for (name, value) in histograms {
+            writeln!(out, "  {name:<width$}  {}", histogram_cell(value))
+                .expect("write to string");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morphtree_core::obs::Histogram;
+
+    #[test]
+    fn stats_renderer_shows_counters_gauges_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("sim.mcf.SC-64.dram.reads", 1234);
+        reg.gauge_set("sim.mcf.SC-64.dram.row_hit_rate", Some(0.875));
+        reg.gauge_set("sim.mcf.SC-64.energy.edp", None);
+        let mut h = Histogram::new();
+        for v in [100, 200, 400] {
+            h.record(v);
+        }
+        reg.histogram_merge("sim.mcf.SC-64.dram.read_latency", &h);
+
+        let json = reg.to_json();
+        let text = render_stats("m.json", &json).unwrap();
+        assert!(text.contains("1 counter(s), 2 gauge(s), 1 histogram(s)"), "{text}");
+        assert!(text.contains("sim.mcf.SC-64.dram.reads"), "{text}");
+        assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("0.8750"), "{text}");
+        assert!(text.contains("n/a"), "{text}");
+        assert!(text.contains("count 3"), "{text}");
+        assert!(text.contains("max 400"), "{text}");
+    }
+
+    #[test]
+    fn stats_rejects_json_without_the_metrics_schema() {
+        let json = parse_json("{\"foo\": 1}").unwrap();
+        let e = render_stats("m.json", &json).unwrap_err();
+        assert!(e.0.contains("no `counters` object"), "{}", e.0);
+    }
+}

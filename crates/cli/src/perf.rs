@@ -275,6 +275,21 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
 
     let mut summary = progress;
+    if let Some(path) = flags.get("metrics") {
+        // The perf suite is inherently wall-clock, so unlike sweep metrics
+        // this file is machine- and run-dependent by design.
+        let mut registry = morphtree_core::obs::MetricsRegistry::new();
+        for b in &benches {
+            registry.gauge_set(&format!("perf.{}.ns_per_op", b.name), Some(b.ns_per_op));
+            registry.gauge_set(&format!("perf.{}.ops_per_sec", b.name), Some(b.ops_per_sec));
+        }
+        for (name, value) in &speedups {
+            registry.gauge_set(&format!("perf.speedup.{name}"), Some(*value));
+        }
+        registry.counter_set("perf.sweep_fig07.wall_ms", sweep_ms);
+        crate::metrics::write_metrics(path, &registry)?;
+        writeln!(summary, "metrics written to {path}").expect("write to string");
+    }
     writeln!(summary, "\nspeedups vs in-process pre-optimization baselines:").expect("write");
     for (name, value) in speedups {
         writeln!(summary, "  {name:<14} {:>6}x", number(value)).expect("write to string");

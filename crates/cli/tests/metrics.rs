@@ -1,0 +1,156 @@
+//! Integration tests for the observability surface (ISSUE 4): `--metrics`
+//! dumps from `simulate`/`sweep`/`attack`, the `stats` renderer, and the
+//! determinism contract — a sweep's metrics file must be byte-identical
+//! whether the runs execute serially or on four worker threads.
+
+use morphtree_cli::run;
+use morphtree_core::obs::{parse_json, JsonValue};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|a| (*a).to_owned()).collect()
+}
+
+/// Temp-file path for a metrics dump, as `(PathBuf, String)`.
+fn tmp(name: &str) -> (std::path::PathBuf, String) {
+    let path = std::env::temp_dir().join(name);
+    let s = path.to_str().expect("utf-8 temp path").to_owned();
+    (path, s)
+}
+
+#[test]
+fn simulate_metrics_dump_covers_every_layer() {
+    let (path, path_str) = tmp("morphtree-metrics-simulate.json");
+    let out = run(
+        "simulate",
+        &args(&[
+            "--workload", "libquantum", "--config", "sc64", "--scale", "256", "--warmup",
+            "20000", "--instructions", "20000", "--metrics", &path_str,
+        ]),
+    )
+    .expect("simulate runs");
+    assert!(out.contains(&format!("metrics written to {path_str}")), "{out}");
+
+    let text = std::fs::read_to_string(&path).expect("metrics file exists");
+    let json = parse_json(&text).expect("metrics file is valid JSON");
+    let counter = |name: &str| {
+        json.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+    };
+    let histogram_count = |name: &str| {
+        json.get("histograms")
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(JsonValue::as_u64)
+    };
+
+    // Histogram-backed DRAM latency for both the non-secure baseline and
+    // the secure config, with the full percentile summary.
+    for cfg in ["Non-Secure", "SC-64"] {
+        let name = format!("sim.libquantum.{cfg}.dram.read_latency");
+        let h = json
+            .get("histograms")
+            .and_then(|h| h.get(&name))
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(h.get("count").and_then(JsonValue::as_u64).expect("count") > 0);
+        for key in ["sum", "min", "max", "mean", "p50", "p90", "p99", "buckets"] {
+            assert!(h.get(key).is_some(), "histogram {name} missing {key}");
+        }
+    }
+    assert!(histogram_count("sim.libquantum.SC-64.dram.queue_delay").expect("qd") > 0);
+
+    // Per-level metadata-cache activity and crypto-op counters exist for
+    // the secure config only.
+    assert!(counter("sim.libquantum.SC-64.cache.hits").expect("hits") > 0);
+    assert!(counter("sim.libquantum.SC-64.cache.l0.hits").is_some(), "level-0 attribution");
+    assert!(counter("sim.libquantum.SC-64.crypto.otp_ops").expect("otp") > 0);
+    assert!(counter("sim.libquantum.SC-64.crypto.mac_ops").expect("mac") > 0);
+    assert!(histogram_count("sim.libquantum.SC-64.engine.fetch_depth").expect("fd") > 0);
+
+    // The non-secure baseline has no cache traffic: its hit rate is JSON
+    // null (unmeasurable), never a fake 0.0 (ISSUE 4 satellite 3).
+    assert_eq!(
+        json.get("gauges").and_then(|g| g.get("sim.libquantum.Non-Secure.cache.hit_rate")),
+        Some(&JsonValue::Null),
+    );
+
+    // `morphtree stats` renders the same file for humans.
+    let rendered = run("stats", &args(&[&path_str])).expect("stats renders");
+    std::fs::remove_file(&path).ok();
+    assert!(rendered.contains("sim.libquantum.SC-64.dram.read_latency"), "{rendered}");
+    assert!(rendered.contains("p99"), "{rendered}");
+    assert!(rendered.contains("n/a"), "{rendered}");
+}
+
+#[test]
+fn sweep_metrics_are_byte_identical_across_thread_counts() {
+    let (path_serial, serial_str) = tmp("morphtree-metrics-sweep-t1.json");
+    let (path_parallel, parallel_str) = tmp("morphtree-metrics-sweep-t4.json");
+    for (threads, file) in [("1", &serial_str), ("4", &parallel_str)] {
+        let out = run(
+            "sweep",
+            &args(&[
+                "--figure", "ext_sgx", "--scale", "256", "--warmup", "20000",
+                "--instructions", "20000", "--threads", threads, "--metrics", file,
+                "--reports", "0",
+            ]),
+        )
+        .expect("sweep runs");
+        assert!(out.contains("metrics written to"), "{out}");
+    }
+    let serial = std::fs::read(&path_serial).expect("serial metrics");
+    let parallel = std::fs::read(&path_parallel).expect("parallel metrics");
+    std::fs::remove_file(&path_serial).ok();
+    std::fs::remove_file(&path_parallel).ok();
+    assert!(
+        serial == parallel,
+        "sweep metrics must not depend on the thread count (wall-clock data \
+         belongs in the span timeline, not the registry)"
+    );
+    // And the shared content is a non-trivial metrics file.
+    let json = parse_json(&String::from_utf8(serial).expect("utf-8")).expect("valid JSON");
+    assert_eq!(
+        json.get("counters")
+            .and_then(|c| c.get("sweep.runs.sim"))
+            .and_then(JsonValue::as_u64),
+        Some(14),
+        "ext_sgx plans 7 workloads x 2 configs"
+    );
+}
+
+#[test]
+fn attack_metrics_count_detections() {
+    let (path, path_str) = tmp("morphtree-metrics-attack.json");
+    let out = run(
+        "attack",
+        &args(&["--count", "6", "--config", "morphtree", "--metrics", &path_str]),
+    )
+    .expect("attack campaign runs");
+    assert!(out.contains("metrics written to"), "{out}");
+    let text = std::fs::read_to_string(&path).expect("metrics file");
+    std::fs::remove_file(&path).ok();
+    let json = parse_json(&text).expect("valid JSON");
+    let counter = |name: &str| {
+        json.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+    };
+    let attempts = counter("attack.morphtree.attempts").expect("attempts");
+    assert_eq!(counter("attack.morphtree.detected"), Some(attempts));
+    assert!(attempts >= 6);
+}
+
+#[test]
+fn stats_command_rejects_bad_input() {
+    let e = run("stats", &[]).expect_err("needs a path");
+    assert!(e.0.contains("usage: morphtree stats"), "{}", e.0);
+
+    let e = run("stats", &args(&["/nonexistent/metrics.json"])).expect_err("missing file");
+    assert!(e.0.contains("cannot read"), "{}", e.0);
+
+    let (path, path_str) = tmp("morphtree-metrics-garbage.json");
+    std::fs::write(&path, "not json {").expect("write garbage");
+    let e = run("stats", &args(&[&path_str])).expect_err("invalid JSON");
+    std::fs::remove_file(&path).ok();
+    assert!(e.0.contains("invalid metrics JSON"), "{}", e.0);
+}

@@ -32,6 +32,8 @@
 //! assert!(mem.read(3).is_err());
 //! ```
 
+use std::cell::Cell;
+
 use morphtree_crypto::{CtrModeCipher, MacKey};
 
 use crate::counters::{CounterLine, IncrementOutcome, Line};
@@ -49,6 +51,33 @@ pub struct LineSnapshot {
     ciphertext: [u8; CACHELINE_BYTES],
     mac: u64,
     counter_line: Line,
+}
+
+/// Running totals of cryptographic primitive invocations inside a
+/// [`SecureMemory`].
+///
+/// These are *observability* counters for the metrics layer: every
+/// counter-mode pad generation (OTP) and every MAC computation is counted
+/// at its call site, whether triggered by a demand access, an overflow
+/// re-encryption, or chain verification. They have no effect on the
+/// memory's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CryptoOps {
+    /// Counter-mode encryptions (pad generation + XOR) of a 64-byte line.
+    pub otp_encrypts: u64,
+    /// Counter-mode decryptions of a 64-byte line.
+    pub otp_decrypts: u64,
+    /// MAC computations over a 64-byte line (data MACs, counter-line MACs,
+    /// and verification re-computations alike).
+    pub mac_computes: u64,
+}
+
+impl CryptoOps {
+    /// Total primitive invocations of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.otp_encrypts + self.otp_decrypts + self.mac_computes
+    }
 }
 
 /// A byte-level secure memory with encryption, integrity and replay
@@ -81,6 +110,10 @@ pub struct SecureMemory {
     /// instead of one per counter bump. A frame is always done with the
     /// scratch before it recurses, so a single buffer suffices.
     bump_scratch: Vec<u64>,
+    /// Crypto-primitive invocation totals. In a `Cell` because the read /
+    /// verification path is `&self` but still performs (and must count)
+    /// MAC and decryption work.
+    crypto: Cell<CryptoOps>,
 }
 
 impl SecureMemory {
@@ -110,8 +143,23 @@ impl SecureMemory {
                 .collect(),
             reencryptions: 0,
             bump_scratch: Vec::new(),
+            crypto: Cell::new(CryptoOps::default()),
             geometry,
         }
+    }
+
+    /// Crypto-primitive invocation totals accumulated so far.
+    #[must_use]
+    pub fn crypto_ops(&self) -> CryptoOps {
+        self.crypto.get()
+    }
+
+    /// Applies `f` to the crypto counters (interior mutability: the read
+    /// path is `&self` but still counts work).
+    fn charge(&self, f: impl FnOnce(&mut CryptoOps)) {
+        let mut ops = self.crypto.get();
+        f(&mut ops);
+        self.crypto.set(ops);
     }
 
     /// The tree geometry in use.
@@ -157,6 +205,7 @@ impl SecureMemory {
                 .map_or(0, |line| line.get(slot))
         };
         let addr = self.geometry.line_addr(level, line_idx);
+        self.charge(|ops| ops.mac_computes += 1);
         self.mac_key.mac_line(addr, parent_value, body).0
     }
 
@@ -175,6 +224,11 @@ impl SecureMemory {
     fn reencrypt_data_child(&mut self, data_line: u64, old_counter: u64) {
         let addr = self.data_addr(data_line);
         if let Some(ciphertext) = self.data.get(data_line).copied() {
+            self.charge(|ops| {
+                ops.otp_decrypts += 1;
+                ops.otp_encrypts += 1;
+                ops.mac_computes += 1;
+            });
             let plaintext = self.cipher.decrypt_line(addr, old_counter, &ciphertext);
             let new_counter = self.counter_of(data_line);
             let fresh = self.cipher.encrypt_line(addr, new_counter, &plaintext);
@@ -245,6 +299,10 @@ impl SecureMemory {
         self.bump(0, data_line);
         let counter = self.counter_of(data_line);
         let addr = self.data_addr(data_line);
+        self.charge(|ops| {
+            ops.otp_encrypts += 1;
+            ops.mac_computes += 1;
+        });
         let ciphertext = self.cipher.encrypt_line(addr, counter, plaintext);
         let mac = self.mac_key.mac_line(addr, counter, &ciphertext).0;
         self.data.insert(data_line, ciphertext);
@@ -266,6 +324,7 @@ impl SecureMemory {
         };
         let addr = self.data_addr(data_line);
         let counter = self.counter_of(data_line);
+        self.charge(|ops| ops.mac_computes += 1);
         let expect = self.mac_key.mac_line(addr, counter, ciphertext).0;
         // A written line must have a stored MAC. Treating a missing MAC as
         // "0" would hand an adversary a trivially forgeable sentinel value;
@@ -277,6 +336,7 @@ impl SecureMemory {
             return Err(IntegrityError::DataMac { line_addr: addr });
         }
         self.verify_chain(data_line)?;
+        self.charge(|ops| ops.otp_decrypts += 1);
         Ok(self.cipher.decrypt_line(addr, counter, ciphertext))
     }
 
@@ -521,6 +581,41 @@ mod tests {
     fn unwritten_lines_read_zero() {
         let m = mem(TreeConfig::morphtree());
         assert_eq!(m.read(0).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn crypto_ops_count_primitive_invocations() {
+        let mut m = mem(TreeConfig::sc64());
+        assert_eq!(m.crypto_ops(), CryptoOps::default());
+
+        // A write performs one data encryption + one data MAC, plus one
+        // counter-line MAC refresh per tree level touched by the bump.
+        m.write(9, &[0x42; 64]);
+        let after_write = m.crypto_ops();
+        assert_eq!(after_write.otp_encrypts, 1);
+        assert_eq!(after_write.otp_decrypts, 0);
+        let levels = m.geometry().levels().len() as u64;
+        assert!(
+            after_write.mac_computes >= levels,
+            "write must MAC the data line and re-MAC the counter chain: {after_write:?}"
+        );
+
+        // A verified read decrypts once and re-computes the data MAC plus
+        // one MAC per off-chip counter level in the chain.
+        m.read(9).unwrap();
+        let after_read = m.crypto_ops();
+        assert_eq!(after_read.otp_decrypts, 1);
+        assert_eq!(after_read.otp_encrypts, after_write.otp_encrypts);
+        assert!(after_read.mac_computes > after_write.mac_computes);
+
+        // Reads of never-written lines touch no crypto at all.
+        m.read(100).unwrap();
+        assert_eq!(m.crypto_ops(), after_read);
+
+        assert_eq!(
+            after_read.total(),
+            after_read.otp_encrypts + after_read.otp_decrypts + after_read.mac_computes
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! - [`store`] — the lazily-allocated paged flat stores backing the
 //!   engine's and functional memory's per-level line maps (O(1) unhashed
 //!   access over geometry-bounded index spaces).
+//! - [`obs`] — the observability plane: a deterministic metrics registry
+//!   (counters/gauges + log2-bucket latency histograms) and a span
+//!   timeline tracer, exported as sorted-key JSON by `--metrics`.
 //!
 //! # Quick example
 //!
@@ -54,6 +57,7 @@ pub mod counters;
 pub mod error;
 pub mod functional;
 pub mod metadata;
+pub mod obs;
 pub mod store;
 pub mod tree;
 

@@ -35,6 +35,61 @@ use crate::CACHELINE_BYTES;
 /// tag can never collide with it.
 const SENTINEL: u64 = u64::MAX;
 
+/// Number of per-level statistic bins. Tree heights in every evaluated
+/// configuration stay below 10; deeper levels fold into the last bin.
+pub const STAT_LEVELS: usize = 16;
+
+/// Clamps a metadata level / priority into the statistics bins.
+#[inline]
+fn stat_level(level: u8) -> usize {
+    (level as usize).min(STAT_LEVELS - 1)
+}
+
+/// Snapshot of the cache's hit/miss/eviction statistics, overall and per
+/// metadata level (level 0 = encryption counters, the paper's Fig 15
+/// per-level breakdown).
+///
+/// Derives `Eq` so sweep determinism tests can compare results exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits across all levels.
+    pub hits: u64,
+    /// Demand misses across all levels.
+    pub misses: u64,
+    /// Hits attributed to each metadata level.
+    pub level_hits: [u64; STAT_LEVELS],
+    /// Misses attributed to each metadata level.
+    pub level_misses: [u64; STAT_LEVELS],
+    /// Evictions attributed to each victim's level.
+    pub level_evicts: [u64; STAT_LEVELS],
+}
+
+impl CacheStats {
+    /// Overall hit rate, or `None` when the cache saw no probes.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Total evictions across levels.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.level_evicts.iter().sum()
+    }
+
+    /// Merges `other` into `self` (multi-run aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        for i in 0..STAT_LEVELS {
+            self.level_hits[i] += other.level_hits[i];
+            self.level_misses[i] += other.level_misses[i];
+            self.level_evicts[i] += other.level_evicts[i];
+        }
+    }
+}
+
 /// The 8 entries of one set as a fixed-size array (for the fixed-width
 /// 8-way kernels).
 ///
@@ -202,8 +257,7 @@ pub struct MetadataCache {
     simd: bool,
     /// Global touch counter feeding `ticks`.
     tick: u64,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl MetadataCache {
@@ -246,8 +300,7 @@ impl MetadataCache {
             num_sets,
             simd: ways == 8 && avx2_available(),
             tick: 0,
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -266,13 +319,25 @@ impl MetadataCache {
     /// Demand hits recorded by [`MetadataCache::probe`].
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits
     }
 
     /// Demand misses recorded by [`MetadataCache::probe`].
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses
+    }
+
+    /// Snapshot of the full (per-level) statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes all statistics, keeping the cache contents (used at the
+    /// warm-up/measure boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
     }
 
     #[inline]
@@ -366,17 +431,28 @@ impl MetadataCache {
         }
     }
 
-    /// Looks up `addr`, updating recency and hit/miss statistics.
+    /// Looks up `addr`, updating recency and hit/miss statistics. The
+    /// per-level breakdown attributes this probe to level 0; callers that
+    /// know the metadata level should use [`MetadataCache::probe_level`].
     #[inline]
     pub fn probe(&mut self, addr: u64) -> bool {
+        self.probe_level(addr, 0)
+    }
+
+    /// Looks up `addr`, attributing the hit or miss to metadata `level`
+    /// in the per-level statistics.
+    #[inline]
+    pub fn probe_level(&mut self, addr: u64, level: u8) -> bool {
         let base = self.set_index(addr) * self.ways;
         self.tick += 1;
         if let Some(slot) = self.find(base, addr) {
             self.ticks[slot] = self.tick;
-            self.hits += 1;
+            self.stats.hits += 1;
+            self.stats.level_hits[stat_level(level)] += 1;
             true
         } else {
-            self.misses += 1;
+            self.stats.misses += 1;
+            self.stats.level_misses[stat_level(level)] += 1;
             false
         }
     }
@@ -422,6 +498,9 @@ impl MetadataCache {
             dirty: self.dirty[slot],
             priority: self.priority[slot],
         });
+        if let Some(v) = &victim {
+            self.stats.level_evicts[stat_level(v.priority)] += 1;
+        }
         self.tags[slot] = addr;
         self.ticks[slot] = tick;
         self.dirty[slot] = dirty;
@@ -447,10 +526,12 @@ impl MetadataCache {
             self.ticks[slot] = self.tick;
             self.dirty[slot] = true;
             self.priority[slot] = self.priority[slot].max(priority);
-            self.hits += 1;
+            self.stats.hits += 1;
+            self.stats.level_hits[stat_level(priority)] += 1;
             true
         } else {
-            self.misses += 1;
+            self.stats.misses += 1;
+            self.stats.level_misses[stat_level(priority)] += 1;
             false
         }
     }
@@ -485,8 +566,7 @@ impl MetadataCache {
         self.dirty.fill(false);
         self.priority.fill(0);
         self.tick = 0;
-        self.hits = 0;
-        self.misses = 0;
+        self.stats = CacheStats::default();
     }
 
     /// Number of resident lines.
@@ -732,5 +812,65 @@ mod tests {
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.hits(), 0);
         assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn per_level_attribution_tracks_probes_and_evictions() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        assert!(!c.probe_level(a, 2)); // miss at level 2
+        c.insert_with_priority(a, false, 2);
+        assert!(c.probe_level(a, 2)); // hit at level 2
+        c.insert_with_priority(b, false, 0);
+        // Evicting fills level_evicts by the victim's level.
+        let victim = c.insert_with_priority(d, false, 1).expect("set full");
+        let s = *c.stats();
+        assert_eq!(s.level_misses[2], 1);
+        assert_eq!(s.level_hits[2], 1);
+        assert_eq!(s.level_evicts[usize::from(victim.priority)], 1);
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.hits + s.misses, c.hits() + c.misses());
+        // Deep levels clamp into the last bin instead of indexing out.
+        assert!(!c.probe_level(addr_in_set(&c, 1, 7), 200));
+        assert_eq!(c.stats().level_misses[STAT_LEVELS - 1], 1);
+    }
+
+    #[test]
+    fn touch_dirty_attributes_by_priority() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        c.insert_with_priority(a, false, 1);
+        assert!(c.touch_dirty(a, 1));
+        assert!(!c.touch_dirty(addr_in_set(&c, 0, 5), 3));
+        let s = c.stats();
+        assert_eq!(s.level_hits[1], 1);
+        assert_eq!(s.level_misses[3], 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        let a = addr_in_set(&c, 0, 0);
+        c.insert(a, true);
+        c.probe(a);
+        c.reset_stats();
+        assert_eq!(*c.stats(), CacheStats::default());
+        assert!(c.contains(a), "contents survive a stats reset");
+        assert_eq!(c.stats().hit_rate(), None, "no probes since the reset");
+    }
+
+    #[test]
+    fn cache_stats_merge_and_hit_rate() {
+        let mut a = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        a.level_hits[0] = 3;
+        let mut b = CacheStats { hits: 1, misses: 3, ..CacheStats::default() };
+        b.level_evicts[2] = 5;
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.hit_rate(), Some(0.5));
+        assert_eq!(a.evictions(), 5);
     }
 }

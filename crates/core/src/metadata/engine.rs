@@ -261,6 +261,7 @@ impl MetadataEngine {
     pub fn reset_stats(&mut self) {
         let levels = self.levels.len();
         self.stats = EngineStats::new(levels);
+        self.cache.reset_stats();
     }
 
     /// Effective counter value covering `child_idx` at `level` (a data-line
@@ -343,7 +344,7 @@ impl MetadataEngine {
             return;
         }
         let addr = self.line_addr_fast(level, line_idx);
-        if !self.cache.probe(addr) {
+        if !self.cache.probe_level(addr, level as u8) {
             self.fetch_chain(level, line_idx, addr, out, depth);
         }
     }
@@ -373,7 +374,7 @@ impl MetadataEngine {
         let mut l = level + 1;
         while l < top {
             let addr = self.line_addr_fast(l, idx);
-            if self.cache.probe(addr) {
+            if self.cache.probe_level(addr, l as u8) {
                 break;
             }
             self.emit(out, addr, false, AccessCategory::for_level(l), gates);
@@ -382,6 +383,9 @@ impl MetadataEngine {
             l += 1;
             idx = parent_idx;
         }
+        // Chain-depth distribution: how far this miss had to walk before
+        // hitting a cached ancestor (or the pinned root).
+        self.stats.fetch_depths.record(fetched.len() as u64);
         // The walk recorded each line's level, so no reverse lookup is
         // needed to insert.
         for &(addr, lvl) in fetched.iter().rev() {

@@ -24,7 +24,7 @@ pub mod engine;
 pub mod reference;
 pub mod stats;
 
-pub use cache::{MetadataCache, ReplacementPolicy};
+pub use cache::{CacheStats, MetadataCache, ReplacementPolicy, STAT_LEVELS};
 pub use engine::{EngineOptions, MacMode, MetadataEngine, VerificationMode};
 pub use reference::ReferenceEngine;
 pub use stats::{AccessCategory, EngineStats, MemAccess};

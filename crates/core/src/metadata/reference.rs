@@ -207,6 +207,13 @@ impl ReferenceEngine {
             l += 1;
             idx = parent_idx;
         }
+        // Chain-depth accounting, mirrored from the optimized engine: it
+        // records once per *miss* walk, and this seed formulation also
+        // reaches here on hits (with nothing fetched), so only record when
+        // the walk actually fetched — the equivalence suite compares stats.
+        if !fetched.is_empty() {
+            self.stats.fetch_depths.record(fetched.len() as u64);
+        }
         // Insert top-down so the requested line ends most-recently-used.
         for addr in fetched.into_iter().rev() {
             // Every fetched address came from this geometry's own layout.

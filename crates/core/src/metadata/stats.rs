@@ -1,6 +1,8 @@
 //! Traffic accounting with the paper's Fig 16 categories, plus the
 //! overflow instrumentation behind Fig 7/11/14.
 
+use crate::obs::Histogram;
+
 /// Number of bins in the "fraction of counter-cacheline used at overflow"
 /// histogram (Fig 7).
 pub const USED_FRACTION_BINS: usize = 32;
@@ -116,6 +118,16 @@ pub struct EngineStats {
     /// FullReset, SetReset,
     /// BaseOverflow, ZccRewidthFailure, FormatSwitchReset.
     pub overflow_kinds: [u64; 5],
+    /// Distribution of metadata-fetch chain depths: how many lines each
+    /// cache-miss walk had to fetch before reaching a cached ancestor or
+    /// the tree root. Depth 1 = the missing line's parent was cached.
+    pub fetch_depths: Histogram,
+    /// One-time-pad (counter-mode AES) operations implied by the traffic:
+    /// one per data encrypt/decrypt and per overflow re-encryption.
+    pub otp_ops: u64,
+    /// MAC computations implied by the traffic: one per data access and
+    /// per counter-line fetch-verify / writeback-recompute.
+    pub mac_ops: u64,
 }
 
 impl EngineStats {
@@ -129,13 +141,33 @@ impl EngineStats {
         }
     }
 
-    /// Records one emitted access.
+    /// Records one emitted access, deriving the crypto work it implies.
+    ///
+    /// The crypto-op model (§III): every data access is decrypted or
+    /// encrypted with a counter-mode one-time pad and MAC-verified; every
+    /// counter-line access is MAC-verified on fetch (or re-MACed on
+    /// writeback); overflow traffic re-encrypts and re-MACs a data line.
+    /// Standalone MAC-line traffic carries no extra crypto — the MAC
+    /// computation is already charged to the data access it belongs to.
     pub fn record(&mut self, access: &MemAccess) {
         let idx = access.category.index();
         if access.is_write {
             self.writes[idx] += 1;
         } else {
             self.reads[idx] += 1;
+        }
+        match access.category {
+            AccessCategory::Data | AccessCategory::Overflow => {
+                self.otp_ops += 1;
+                self.mac_ops += 1;
+            }
+            AccessCategory::CtrEncr
+            | AccessCategory::Ctr1
+            | AccessCategory::Ctr2
+            | AccessCategory::Ctr3Up => {
+                self.mac_ops += 1;
+            }
+            AccessCategory::Mac => {}
         }
     }
 
@@ -267,6 +299,9 @@ impl EngineStats {
         for i in 0..self.overflow_kinds.len() {
             self.overflow_kinds[i] += other.overflow_kinds[i];
         }
+        self.fetch_depths.merge(&other.fetch_depths);
+        self.otp_ops += other.otp_ops;
+        self.mac_ops += other.mac_ops;
     }
 }
 
@@ -324,6 +359,38 @@ mod tests {
             });
         }
         assert!((s.overflows_per_million_accesses() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crypto_ops_follow_the_traffic_model() {
+        let mut s = EngineStats::new(1);
+        let acc = |category, is_write| MemAccess { addr: 0, is_write, category, critical: false };
+        // Data: OTP + MAC. Counter levels: MAC only. MAC lines: nothing
+        // (already charged with the data access). Overflow: OTP + MAC.
+        s.record(&acc(AccessCategory::Data, false));
+        assert_eq!((s.otp_ops, s.mac_ops), (1, 1));
+        s.record(&acc(AccessCategory::CtrEncr, false));
+        s.record(&acc(AccessCategory::Ctr3Up, true));
+        assert_eq!((s.otp_ops, s.mac_ops), (1, 3));
+        s.record(&acc(AccessCategory::Mac, false));
+        assert_eq!((s.otp_ops, s.mac_ops), (1, 3));
+        s.record(&acc(AccessCategory::Overflow, true));
+        assert_eq!((s.otp_ops, s.mac_ops), (2, 4));
+    }
+
+    #[test]
+    fn merge_includes_observability_fields() {
+        let mut a = EngineStats::new(1);
+        let mut b = EngineStats::new(1);
+        a.fetch_depths.record(2);
+        b.fetch_depths.record(5);
+        b.otp_ops = 3;
+        b.mac_ops = 7;
+        a.merge(&b);
+        assert_eq!(a.fetch_depths.count(), 2);
+        assert_eq!(a.fetch_depths.max(), Some(5));
+        assert_eq!(a.otp_ops, 3);
+        assert_eq!(a.mac_ops, 7);
     }
 
     #[test]

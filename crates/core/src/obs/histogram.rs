@@ -1,0 +1,305 @@
+//! Fixed-bucket log2 histograms for latency and depth distributions.
+//!
+//! The paper's evaluation argues from *distributions* (Figs 7, 15–18), so
+//! scalar means are not enough: a 99th-percentile DRAM latency and a mean
+//! can disagree by an order of magnitude under queueing. This histogram is
+//! the compromise a hardware stats unit would make: 64 power-of-two
+//! buckets cover the full `u64` range in constant space, while the exact
+//! count/sum/min/max are tracked alongside so *means stay exact* — the
+//! golden text fixtures keep printing the same numbers they always did.
+
+/// Number of buckets: value 0, then one bucket per power of two.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i` (for `i >= 1`) holds values in
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything at or above
+/// `2^62` (the overflow bucket). Count, sum, min and max are exact, so
+/// [`Histogram::mean`] has no quantization error; percentiles are
+/// bucket-resolution upper bounds clamped to the observed extrema.
+///
+/// Derives `Eq` so the experiment layer's determinism tests can assert
+/// byte-identical statistics across thread counts.
+///
+/// # Example
+///
+/// ```
+/// use morphtree_core::obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [4, 5, 6, 7, 900] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), Some(900));
+/// assert_eq!(h.mean(), Some((4 + 5 + 6 + 7 + 900) as f64 / 5.0));
+/// assert_eq!(h.percentile(50.0), Some(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    // Manual impl: `[u64; 64]` has no derived `Default`.
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index of `value`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `[low, high]` value range of bucket `index`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        i if i >= NUM_BUCKETS - 1 => (1 << (NUM_BUCKETS - 2), u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` when empty — "no data" is
+    /// distinguishable from a true zero.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) as a bucket upper bound,
+    /// clamped to the observed min/max so single-sample and single-bucket
+    /// distributions report exact values. `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (_, high) = bucket_bounds(i);
+                return Some(high.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges `other` into `self` (for multi-run aggregation); all fields
+    /// combine commutatively, so merge order cannot affect the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Occupied buckets as `(low, high, count)` triples, low to high.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (low, high) = bucket_bounds(i);
+                (low, high, n)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_no_data() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        // Edge buckets: 0 is its own bucket, 1 starts bucket 1, powers of
+        // two open new buckets.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1), (1 << 62, u64::MAX));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(37), "p{p}");
+        }
+        assert_eq!(h.mean(), Some(37.0));
+        assert_eq!(h.min(), Some(37));
+        assert_eq!(h.max(), Some(37));
+    }
+
+    #[test]
+    fn zero_samples_land_in_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.mean(), Some(0.0));
+        assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), vec![(0, 0, 2)]);
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        assert_eq!(h.count(), 2);
+        // Both land in the last bucket; percentile clamps to the max.
+        assert_eq!(h.percentile(99.0), Some(u64::MAX));
+        assert_eq!(h.min(), Some(1 << 63));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1 << 62, u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let mut h = Histogram::new();
+        // 90 small samples and 10 large ones.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p50 < 16, "p50 stays in the small bucket, got {p50}");
+        assert!(p99 >= 4096, "p99 reaches the large bucket, got {p99}");
+        assert_eq!(h.percentile(100.0), Some(5000), "p100 clamps to max");
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new();
+        for v in [100, 101, 102] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(101.0));
+        assert_eq!(h.sum(), 303);
+    }
+
+    #[test]
+    fn merge_accumulates_and_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [1000, 2000] {
+            b.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.min(), Some(1));
+        assert_eq!(ab.max(), Some(2000));
+        // Merging an empty histogram changes nothing.
+        let before = ab;
+        ab.merge(&Histogram::new());
+        assert_eq!(ab, before);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(Histogram::default(), Histogram::new());
+    }
+}

@@ -1,0 +1,28 @@
+//! Observability layer: metrics registry, latency histograms, span tracing.
+//!
+//! Zero-dependency instrumentation plane for the simulator (ISSUE 4). The
+//! paper's evaluation reasons about *distributions* — streak lengths,
+//! per-level cache behaviour, DRAM queueing — so the stats structs in sim
+//! and core record [`Histogram`]s rather than bare means, every layer
+//! dumps into a [`MetricsRegistry`] with deterministic (sorted) key order,
+//! and the sweep runner traces per-run wall time on a [`Timeline`].
+//!
+//! Design rules:
+//!
+//! - **No wall-clock reads in here.** Timelines take caller-supplied
+//!   timestamps; registries hold only simulated or counted quantities.
+//!   This is what makes serial and N-thread sweeps byte-identical.
+//! - **`null` means "no data".** Empty histograms and unmeasurable gauges
+//!   export JSON `null`, never a fake `0.0` (satellite 3 of ISSUE 4).
+//! - **Exact means.** Histograms track the exact sum alongside log2
+//!   buckets, so existing mean-based text outputs are undisturbed.
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod timeline;
+
+pub use histogram::{bucket_bounds, Histogram, NUM_BUCKETS};
+pub use json::{parse as parse_json, ParseError as JsonParseError, Value as JsonValue};
+pub use registry::{histogram_json, MetricsRegistry};
+pub use timeline::{Span, Timeline};

@@ -1,0 +1,288 @@
+//! Named metrics registry: counters, gauges, and histograms.
+//!
+//! The registry is the single collection point that every layer (DRAM,
+//! controller, metadata engine, crypto, sweeps) reports into before a
+//! `--metrics` dump. Names are dotted paths (`dram.read_latency`,
+//! `cache.l0.hits`); storage is `BTreeMap`, so iteration and JSON export
+//! are always in sorted, deterministic order.
+
+use std::collections::BTreeMap;
+
+use super::histogram::Histogram;
+use super::json::Value;
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Counters are monotonically increased `u64`s (event counts), gauges are
+/// point-in-time `f64` readings (rates, ratios, configuration), and
+/// histograms capture full distributions. A `None` gauge records that the
+/// quantity was *unmeasurable* — it exports as JSON `null`, never as a
+/// fake `0.0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Option<f64>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the counter `name` to an absolute value.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Sets the gauge `name`. Pass `None` for "not measurable" — it
+    /// renders as `null`, distinct from a measured zero.
+    pub fn gauge_set(&mut self, name: &str, value: Option<f64>) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into the histogram `name`.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Stores a whole pre-built histogram under `name`, merging with any
+    /// samples already recorded there.
+    pub fn histogram_merge(&mut self, name: &str, histogram: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(histogram);
+    }
+
+    /// The current value of a counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The current value of a gauge, if present. The outer `Option` is
+    /// presence; the inner is measurability.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<Option<f64>> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in sorted name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in sorted name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, Option<f64>)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in sorted name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// merge, and gauges take the other side's value (last write wins).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, &value) in &other.gauges {
+            self.gauges.insert(name.clone(), value);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// Exports the registry as a JSON value with the stable schema
+    /// `{counters: {..}, gauges: {..}, histograms: {..}}`.
+    ///
+    /// Histograms export count/sum/min/max/mean/p50/p90/p99 plus the
+    /// occupied buckets as `[low, high, count]` triples. Empty quantities
+    /// export as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "counters".to_string(),
+            Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Value::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), opt_f64(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".to_string(),
+            Value::Object(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histogram_json(h)))
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    match v {
+        Some(f) if f.is_finite() => Value::Float(f),
+        _ => Value::Null,
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Value {
+    match v {
+        Some(n) => Value::UInt(n),
+        None => Value::Null,
+    }
+}
+
+/// Serializes one histogram into its JSON summary object.
+#[must_use]
+pub fn histogram_json(h: &Histogram) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("count".to_string(), Value::UInt(h.count()));
+    // sum fits u64 in practice (cycle counts); saturate rather than lie.
+    map.insert(
+        "sum".to_string(),
+        Value::UInt(u64::try_from(h.sum()).unwrap_or(u64::MAX)),
+    );
+    map.insert("min".to_string(), opt_u64(h.min()));
+    map.insert("max".to_string(), opt_u64(h.max()));
+    map.insert("mean".to_string(), opt_f64(h.mean()));
+    map.insert("p50".to_string(), opt_u64(h.percentile(50.0)));
+    map.insert("p90".to_string(), opt_u64(h.percentile(90.0)));
+    map.insert("p99".to_string(), opt_u64(h.percentile(99.0)));
+    map.insert(
+        "buckets".to_string(),
+        Value::Array(
+            h.nonzero_buckets()
+                .map(|(low, high, count)| {
+                    Value::Array(vec![
+                        Value::UInt(low),
+                        Value::UInt(high),
+                        Value::UInt(count),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("dram.reads", 3);
+        r.counter_add("dram.reads", 4);
+        r.gauge_set("dram.row_hit_rate", Some(0.5));
+        r.gauge_set("dram.row_hit_rate", Some(0.75));
+        assert_eq!(r.counter("dram.reads"), Some(7));
+        assert_eq!(r.gauge("dram.row_hit_rate"), Some(Some(0.75)));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn unmeasurable_gauge_exports_as_null() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("dram.row_hit_rate", None);
+        let json = r.to_json().to_pretty_string();
+        assert!(json.contains("\"dram.row_hit_rate\": null"), "{json}");
+    }
+
+    #[test]
+    fn histogram_summary_has_required_keys() {
+        let mut r = MetricsRegistry::new();
+        for v in [10, 20, 30] {
+            r.histogram_record("lat", v);
+        }
+        let json = r.to_json();
+        let h = json.get("histograms").and_then(|v| v.get("lat")).unwrap();
+        for key in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99", "buckets"] {
+            assert!(h.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        a.histogram_record("h", 5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("x", 2);
+        b.counter_add("y", 9);
+        b.histogram_record("h", 500);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(3));
+        assert_eq!(a.counter("y"), Some(9));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(500));
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_parser() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a.b", 11);
+        r.gauge_set("g", Some(1.5));
+        r.gauge_set("null_g", None);
+        r.histogram_record("h", 7);
+        let text = r.to_json().to_pretty_string();
+        let parsed = super::super::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("a.b"))
+                .and_then(Value::as_u64),
+            Some(11)
+        );
+        assert_eq!(
+            parsed.get("gauges").and_then(|g| g.get("null_g")),
+            Some(&Value::Null)
+        );
+    }
+}

@@ -319,8 +319,14 @@ pub fn scheduler(lab: &mut Lab) -> String {
             format!("{arrival_finish}"),
             format!("{frfcfs_finish}"),
             format!("{:.2}x", arrival_finish as f64 / frfcfs_finish as f64),
-            format!("{:.2}", arrival.stats().row_hit_rate()),
-            format!("{:.2}", frfcfs.stats().row_hit_rate()),
+            arrival
+                .stats()
+                .row_hit_rate()
+                .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}")),
+            frfcfs
+                .stats()
+                .row_hit_rate()
+                .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}")),
         ]);
     }
     let mut out = String::from(

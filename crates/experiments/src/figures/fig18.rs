@@ -25,10 +25,18 @@ pub fn run(lab: &mut Lab) -> String {
         for w in &workloads {
             let base = lab.result(w, Some(TreeConfig::sc64())).energy;
             let e = lab.result(w, Some(config.clone())).energy;
-            power.push(e.power_w() / base.power_w());
+            // `power_w`/`edp` are `None` for zero-cycle runs; such a run
+            // has no meaningful time/energy ratio either, so skip the
+            // degenerate pair instead of poisoning the geomean with NaN.
+            let (Some(p), Some(bp), Some(ed), Some(bed)) =
+                (e.power_w(), base.power_w(), e.edp(), base.edp())
+            else {
+                continue;
+            };
+            power.push(p / bp);
             time.push(e.time_s / base.time_s);
             energy.push(e.energy_j() / base.energy_j());
-            edp.push(e.edp() / base.edp());
+            edp.push(ed / bed);
         }
         let row = [geomean(&power), geomean(&time), geomean(&energy), geomean(&edp)];
         table.row(vec![

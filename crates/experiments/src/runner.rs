@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use morphtree_core::metadata::{
     EngineStats, MacMode, MetadataEngine, ReplacementPolicy, VerificationMode,
 };
+use morphtree_core::obs::Timeline;
 use morphtree_core::tree::TreeConfig;
 use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig, SimResult};
 use morphtree_trace::catalog::{Benchmark, MIXES};
@@ -509,6 +510,12 @@ pub struct Lab {
     /// Figure reports are saved under `results/` when true (default);
     /// tests render in-memory only.
     pub emit_reports: bool,
+    /// Wall-time span trace of every run executed so far. Wall-clock data
+    /// lives only here — never in the deterministic metrics registry — so
+    /// sweep metrics files stay byte-identical across thread counts.
+    timeline: Timeline,
+    /// Reference instant for the timeline's micro-second clock.
+    epoch: Instant,
 }
 
 impl Lab {
@@ -524,7 +531,27 @@ impl Lab {
             recovered: Vec::new(),
             verbose: true,
             emit_reports: true,
+            timeline: Timeline::new(),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Micro-seconds since this lab was created (the timeline clock).
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Wall-time span trace: one `run:<label>` span per executed run, and
+    /// one enclosing `sweep` span per [`Lab::prefetch`] batch (worker
+    /// spans nest under it at depth 1). Retried runs carry `attempts > 1`.
+    #[must_use]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Drains the span trace (the CLI exports it once per invocation).
+    pub fn take_timeline(&mut self) -> Timeline {
+        std::mem::take(&mut self.timeline)
     }
 
     /// The operating point.
@@ -601,6 +628,12 @@ impl Lab {
         let failures: Mutex<Vec<RunFailure>> = Mutex::new(Vec::new());
         let recovered: Mutex<Vec<String>> = Mutex::new(Vec::new());
         let progress = Mutex::new(Progress { done: 0, last_print: None });
+        // Workers collect pre-measured (label, start, duration, attempts)
+        // tuples; they are folded into the timeline after the barrier so
+        // the tracer itself needs no cross-thread synchronization.
+        let worker_spans: Mutex<Vec<(String, u64, u64, u32)>> = Mutex::new(Vec::new());
+        self.timeline.start_span("sweep", self.now_us());
+        let epoch = self.epoch;
         let setup = &self.setup;
         let verbose = self.verbose;
 
@@ -614,6 +647,10 @@ impl Lab {
                     if index >= total {
                         break;
                     }
+                    let begun = Instant::now();
+                    let started =
+                        u64::try_from(begun.duration_since(epoch).as_micros())
+                            .unwrap_or(u64::MAX);
                     let (label, attempts) = if index < sim_jobs.len() {
                         let (key, tree) = sim_jobs[index];
                         let label = key.label();
@@ -648,6 +685,14 @@ impl Lab {
                             }
                         }
                     };
+                    let duration =
+                        u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    worker_spans.lock().expect("worker spans lock").push((
+                        format!("run:{label}"),
+                        started,
+                        duration,
+                        attempts.unwrap_or(RUN_ATTEMPTS),
+                    ));
                     if attempts.is_some_and(|a| a > 1) {
                         recovered.lock().expect("recovered lock").push(label.clone());
                     }
@@ -657,6 +702,17 @@ impl Lab {
                 });
             }
         });
+
+        // Fold worker spans in under the still-open `sweep` scope (depth
+        // 1), then close it; the final sort makes span order independent
+        // of worker interleaving.
+        for (name, start, duration, attempts) in
+            worker_spans.into_inner().expect("worker spans lock")
+        {
+            self.timeline.record_span(&name, start, duration, attempts);
+        }
+        self.timeline.end_span(self.now_us());
+        self.timeline.sort();
 
         self.runs
             .extend(sim_results.into_inner().expect("sim results lock"));
@@ -751,8 +807,13 @@ impl Lab {
             // propagate errors; surface the typed error as a panic that the
             // driver's per-figure isolation turns into a failure-summary
             // entry.
+            let started = self.now_us();
+            let begun = Instant::now();
             let result = execute_sim(&self.setup, &key, tree.as_ref())
                 .unwrap_or_else(|e| panic!("{e}"));
+            let duration = u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.timeline
+                .record_span(&format!("run:{}", key.label()), started, duration, 1);
             self.runs.insert(key.clone(), result);
         }
         &self.runs[&key]
@@ -775,8 +836,13 @@ impl Lab {
             }
             // Same contract as `result_full`: typed errors become panics
             // for the driver's per-figure isolation to catch.
+            let started = self.now_us();
+            let begun = Instant::now();
             let stats = execute_engine(&self.setup, &key, &tree)
                 .unwrap_or_else(|e| panic!("{e}"));
+            let duration = u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.timeline
+                .record_span(&format!("run:{}", key.label()), started, duration, 1);
             self.engine_runs.insert(key.clone(), stats);
         }
         &self.engine_runs[&key]
@@ -932,6 +998,49 @@ mod tests {
         lab.prefetch(&sweep);
         assert_eq!(lab.runs.len(), 2);
         assert_eq!(lab.engine_runs.len(), 1);
+    }
+
+    #[test]
+    fn timeline_traces_sweeps_and_serial_runs() {
+        let setup = Setup {
+            scale: 256,
+            warmup_instructions: 20_000,
+            measure_instructions: 20_000,
+            seed: 7,
+        };
+        let mut sweep = Sweep::new();
+        sweep.sim(&setup, "libquantum", Some(TreeConfig::sc64()));
+        sweep.engine("libquantum", TreeConfig::sc64(), 20_000);
+        let mut lab = Lab::new(setup);
+        lab.verbose = false;
+        lab.set_threads(2);
+        lab.prefetch(&sweep);
+
+        let spans = lab.timeline().spans();
+        let batch = spans.iter().find(|s| s.name == "sweep").expect("sweep span");
+        assert_eq!(batch.depth, 0);
+        let runs: Vec<_> = spans.iter().filter(|s| s.name.starts_with("run:")).collect();
+        assert_eq!(runs.len(), 2, "one span per executed run");
+        assert!(runs.iter().all(|s| s.depth == 1), "runs nest under the sweep");
+        assert!(runs.iter().all(|s| s.attempts == 1));
+
+        // The serial path records a top-level span per fresh run, and
+        // memo hits record nothing.
+        let _ = lab.result("libquantum", None);
+        let serial = lab
+            .timeline()
+            .spans()
+            .iter()
+            .find(|s| s.name == "run:libquantum / Non-Secure")
+            .expect("serial span");
+        assert_eq!(serial.depth, 0);
+        let count = lab.timeline().len();
+        let _ = lab.result("libquantum", None);
+        assert_eq!(lab.timeline().len(), count, "memoized runs add no spans");
+
+        let drained = lab.take_timeline();
+        assert!(!drained.is_empty());
+        assert!(lab.timeline().is_empty());
     }
 
     #[test]

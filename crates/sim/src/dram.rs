@@ -18,6 +18,8 @@
 //! All times are in **CPU cycles** (3.2 GHz core, 800 MHz bus ⇒ one bus
 //! cycle = 4 CPU cycles).
 
+use morphtree_core::obs::Histogram;
+
 /// CPU cycles per DRAM bus cycle (3.2 GHz / 800 MHz).
 pub const CPU_PER_BUS_CYCLE: u64 = 4;
 
@@ -134,7 +136,12 @@ struct BankState {
     ready: u64,
 }
 
-/// Aggregate DRAM activity counters (inputs to the energy model).
+/// Aggregate DRAM activity: event counters (inputs to the energy model)
+/// plus full latency distributions (inputs to the observability layer).
+///
+/// The latency fields are log2-bucket [`Histogram`]s rather than scalar
+/// sums, so `--metrics` can report p50/p90/p99 tails; histograms track the
+/// exact sum, so [`DramStats::mean_read_latency`] is unchanged in value.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read bursts serviced.
@@ -145,10 +152,17 @@ pub struct DramStats {
     pub activates: u64,
     /// Row-buffer hits.
     pub row_hits: u64,
-    /// Sum of read latencies (request arrival → data return), CPU cycles.
-    pub total_read_latency: u64,
     /// Requests delayed by an in-progress refresh.
     pub refresh_conflicts: u64,
+    /// Distribution of read latencies (arrival → data return), CPU cycles.
+    pub read_latency: Histogram,
+    /// Distribution of write latencies (arrival → burst complete), CPU
+    /// cycles.
+    pub write_latency: Histogram,
+    /// Distribution of queueing delays (arrival → service start) across
+    /// all requests, CPU cycles — the bank/refresh wait before the access
+    /// itself begins.
+    pub queue_delay: Histogram,
 }
 
 impl DramStats {
@@ -158,24 +172,20 @@ impl DramStats {
         self.reads + self.writes
     }
 
-    /// Row-buffer hit rate over all accesses.
+    /// Row-buffer hit rate over all accesses, or `None` when no access
+    /// has been serviced — "no traffic" must stay distinguishable from a
+    /// true 0% hit rate (ISSUE 4 satellite 3).
     #[must_use]
-    pub fn row_hit_rate(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.row_hits as f64 / self.accesses() as f64
-        }
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let accesses = self.accesses();
+        (accesses > 0).then(|| self.row_hits as f64 / accesses as f64)
     }
 
-    /// Mean read latency in CPU cycles.
+    /// Mean read latency in CPU cycles, or `None` when no read has been
+    /// serviced.
     #[must_use]
-    pub fn mean_read_latency(&self) -> f64 {
-        if self.reads == 0 {
-            0.0
-        } else {
-            self.total_read_latency as f64 / self.reads as f64
-        }
+    pub fn mean_read_latency(&self) -> Option<f64> {
+        self.read_latency.mean()
     }
 }
 
@@ -310,11 +320,15 @@ impl DramModel {
         } else {
             self.stats.activates += 1;
         }
+        // Queue delay = how long the request sat before its access began
+        // (bank busy, refresh, activate-window stalls).
+        self.stats.queue_delay.record(start.saturating_sub(at));
         if is_write {
             self.stats.writes += 1;
+            self.stats.write_latency.record(completion - at);
         } else {
             self.stats.reads += 1;
-            self.stats.total_read_latency += completion - at;
+            self.stats.read_latency.record(completion - at);
         }
         completion
     }
@@ -419,8 +433,46 @@ mod tests {
     fn latency_accounting() {
         let mut d = dram();
         let done = d.request(100, 0, false);
-        assert_eq!(d.stats().total_read_latency, done - 100);
-        assert!(d.stats().mean_read_latency() > 0.0);
+        let h = &d.stats().read_latency;
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), u128::from(done - 100));
+        assert_eq!(h.max(), Some(done - 100));
+        assert!(d.stats().mean_read_latency().unwrap() > 0.0);
+        // A write records into the write histogram, not the read one.
+        let w_done = d.request(done, 64, true);
+        assert_eq!(d.stats().write_latency.count(), 1);
+        assert_eq!(d.stats().write_latency.max(), Some(w_done - done));
+        assert_eq!(d.stats().read_latency.count(), 1);
+    }
+
+    #[test]
+    fn empty_stats_report_none_not_zero() {
+        // Regression (ISSUE 4 satellite 3): "no accesses" used to report
+        // 0.0, indistinguishable from a true 0% hit rate / 0-cycle mean.
+        let s = DramStats::default();
+        assert_eq!(s.row_hit_rate(), None);
+        assert_eq!(s.mean_read_latency(), None);
+        assert!(s.queue_delay.is_empty());
+    }
+
+    #[test]
+    fn queue_delay_measures_the_wait_before_service() {
+        // Disable refresh so the only queueing source is bank contention,
+        // and issue past the initial activate window (tFAW bookkeeping
+        // starts at zero) so the first request truly has an idle bank.
+        let t = DramTiming { t_refi: 0, ..DramTiming::default() };
+        let mut d = DramModel::new(DramGeometry::default(), t);
+        let calm = t.t_faw + 1;
+        let c1 = d.request(calm, 0, false);
+        assert_eq!(d.stats().queue_delay.max(), Some(0));
+        // Second request to the SAME bank issued while it is still busy
+        // (same arrival, different row): it queues behind the first.
+        let g = DramGeometry::default();
+        let stride = 64 * g.lines_per_row * (g.channels * g.ranks * g.banks) as u64;
+        let _ = d.request(calm, stride, false);
+        let delayed = d.stats().queue_delay.max().unwrap();
+        assert!(delayed > 0, "conflicting request must queue, got {delayed}");
+        assert!(delayed >= c1.saturating_sub(calm + t.t_burst));
     }
 
     #[test]
@@ -509,6 +561,6 @@ mod tests {
             d.request(0, i * 64, false);
         }
         assert_eq!(d.stats().row_hits, 9);
-        assert!((d.stats().row_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((d.stats().row_hit_rate().unwrap() - 0.9).abs() < 1e-12);
     }
 }

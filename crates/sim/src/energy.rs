@@ -13,6 +13,7 @@
 //!   datasheet-scale constants.
 
 use crate::dram::DramStats;
+use crate::error::SimError;
 
 /// CPU clock in Hz (Table I: 3.2 GHz).
 pub const CPU_HZ: f64 = 3.2e9;
@@ -47,7 +48,11 @@ impl Default for EnergyModel {
 }
 
 /// Energy/power breakdown of one simulation (the four bars of Fig 18).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The all-zero [`Default`] value is the "no data" breakdown: its
+/// derived quantities ([`EnergyBreakdown::power_w`],
+/// [`EnergyBreakdown::edp`]) report `None` rather than NaN/inf.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Execution time in seconds.
     pub time_s: f64,
@@ -66,16 +71,19 @@ impl EnergyBreakdown {
         self.dram_energy_j + self.core_energy_j + self.static_energy_j
     }
 
-    /// Average system power in watts.
+    /// Average system power in watts, or `None` when no time elapsed —
+    /// dividing by a zero `time_s` would put NaN/inf into reports.
     #[must_use]
-    pub fn power_w(&self) -> f64 {
-        self.energy_j() / self.time_s
+    pub fn power_w(&self) -> Option<f64> {
+        (self.time_s > 0.0).then(|| self.energy_j() / self.time_s)
     }
 
-    /// Energy-delay product (J·s).
+    /// Energy-delay product (J·s), or `None` when no time elapsed — a
+    /// zero-delay EDP of `0.0` would rank as the best possible result
+    /// instead of as missing data.
     #[must_use]
-    pub fn edp(&self) -> f64 {
-        self.energy_j() * self.time_s
+    pub fn edp(&self) -> Option<f64> {
+        (self.time_s > 0.0).then(|| self.energy_j() * self.time_s)
     }
 }
 
@@ -83,22 +91,29 @@ impl EnergyModel {
     /// Evaluates the model for a run of `cycles` CPU cycles retiring
     /// `instructions` with the given DRAM activity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cycles` is zero.
-    #[must_use]
-    pub fn evaluate(&self, cycles: u64, instructions: u64, dram: &DramStats) -> EnergyBreakdown {
-        assert!(cycles > 0, "zero-length run");
+    /// Returns [`SimError::ZeroCycleRun`] when `cycles` is zero: there is
+    /// no elapsed time to attribute static energy to.
+    pub fn evaluate(
+        &self,
+        cycles: u64,
+        instructions: u64,
+        dram: &DramStats,
+    ) -> Result<EnergyBreakdown, SimError> {
+        if cycles == 0 {
+            return Err(SimError::ZeroCycleRun);
+        }
         let time_s = cycles as f64 / CPU_HZ;
         let dram_energy_j = dram.activates as f64 * self.energy_per_activate_j
             + dram.reads as f64 * self.energy_per_read_j
             + dram.writes as f64 * self.energy_per_write_j;
-        EnergyBreakdown {
+        Ok(EnergyBreakdown {
             time_s,
             dram_energy_j,
             core_energy_j: instructions as f64 * self.energy_per_instruction_j,
             static_energy_j: self.static_power_w * time_s,
-        }
+        })
     }
 }
 
@@ -113,7 +128,9 @@ mod tests {
     #[test]
     fn energy_components_add_up() {
         let m = EnergyModel::default();
-        let e = m.evaluate(3_200_000, 1_000_000, &activity(1000, 500, 300));
+        let e = m
+            .evaluate(3_200_000, 1_000_000, &activity(1000, 500, 300))
+            .unwrap();
         assert!(e.energy_j() > 0.0);
         assert!(
             (e.energy_j() - (e.dram_energy_j + e.core_energy_j + e.static_energy_j)).abs()
@@ -128,18 +145,27 @@ mod tests {
         // §VII-G: MorphCtr does the same work in a shorter time, so its
         // average power is higher even though its energy is lower.
         let m = EnergyModel::default();
-        let slow = m.evaluate(4_000_000, 1_000_000, &activity(10_000, 5_000, 5_000));
-        let fast = m.evaluate(3_600_000, 1_000_000, &activity(9_000, 4_500, 4_500));
-        assert!(fast.power_w() > slow.power_w(), "{} !> {}", fast.power_w(), slow.power_w());
+        let slow = m
+            .evaluate(4_000_000, 1_000_000, &activity(10_000, 5_000, 5_000))
+            .unwrap();
+        let fast = m
+            .evaluate(3_600_000, 1_000_000, &activity(9_000, 4_500, 4_500))
+            .unwrap();
+        let (fast_p, slow_p) = (fast.power_w().unwrap(), slow.power_w().unwrap());
+        assert!(fast_p > slow_p, "{fast_p} !> {slow_p}");
         assert!(fast.energy_j() < slow.energy_j());
-        assert!(fast.edp() < slow.edp());
+        assert!(fast.edp().unwrap() < slow.edp().unwrap());
     }
 
     #[test]
     fn more_dram_traffic_costs_more_energy() {
         let m = EnergyModel::default();
-        let light = m.evaluate(1_000_000, 100_000, &activity(1_000, 500, 200));
-        let heavy = m.evaluate(1_000_000, 100_000, &activity(10_000, 5_000, 2_000));
+        let light = m
+            .evaluate(1_000_000, 100_000, &activity(1_000, 500, 200))
+            .unwrap();
+        let heavy = m
+            .evaluate(1_000_000, 100_000, &activity(10_000, 5_000, 2_000))
+            .unwrap();
         assert!(heavy.energy_j() > light.energy_j());
         assert_eq!(heavy.core_energy_j, light.core_energy_j);
         assert_eq!(heavy.static_energy_j, light.static_energy_j);
@@ -148,13 +174,27 @@ mod tests {
     #[test]
     fn edp_is_energy_times_delay() {
         let m = EnergyModel::default();
-        let e = m.evaluate(3_200_000, 1, &activity(0, 0, 0));
-        assert!((e.edp() - e.energy_j() * e.time_s).abs() < 1e-18);
+        let e = m.evaluate(3_200_000, 1, &activity(0, 0, 0)).unwrap();
+        assert!((e.edp().unwrap() - e.energy_j() * e.time_s).abs() < 1e-18);
     }
 
     #[test]
-    #[should_panic(expected = "zero-length")]
-    fn rejects_zero_cycles() {
-        let _ = EnergyModel::default().evaluate(0, 0, &DramStats::default());
+    fn rejects_zero_cycles_with_a_typed_error() {
+        // Regression (ISSUE 4 satellite 1): this used to assert!-panic.
+        let err = EnergyModel::default()
+            .evaluate(0, 0, &DramStats::default())
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroCycleRun);
+        assert!(err.to_string().contains("zero-cycle"));
+    }
+
+    #[test]
+    fn zero_time_breakdown_reports_na_not_nan() {
+        // Regression (ISSUE 4 satellite 2): power_w/edp used to return
+        // inf/NaN when time_s == 0.
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.power_w(), None);
+        assert_eq!(e.edp(), None);
+        assert_eq!(e.energy_j(), 0.0);
     }
 }

@@ -1,0 +1,29 @@
+//! Typed errors for the timing/power simulator.
+//!
+//! PR 2 established a panic-free policy for the substrate: invalid inputs
+//! surface as typed errors, never `assert!` panics. This module extends
+//! that policy to the sim crate (ISSUE 4 satellite 1: the energy model
+//! used to panic on zero-cycle runs).
+
+use std::fmt;
+
+/// An error from the timing/power simulation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The energy model was asked to evaluate a run of zero cycles —
+    /// there is no elapsed time to attribute static energy or power to.
+    ZeroCycleRun,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroCycleRun => {
+                write!(f, "energy model evaluated over a zero-cycle run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

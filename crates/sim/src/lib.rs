@@ -39,7 +39,9 @@ pub mod controller;
 pub mod cpu;
 pub mod dram;
 pub mod energy;
+pub mod error;
 pub mod llc;
 pub mod system;
 
+pub use error::SimError;
 pub use system::{simulate, SimConfig, SimResult};

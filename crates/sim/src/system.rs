@@ -8,7 +8,7 @@
 //! reads gate core retirement on the completion of their critical fetch
 //! chain.
 
-use morphtree_core::metadata::{EngineOptions, MacMode, MemAccess, MetadataEngine, ReplacementPolicy, VerificationMode};
+use morphtree_core::metadata::{CacheStats, EngineOptions, MacMode, MemAccess, MetadataEngine, ReplacementPolicy, VerificationMode};
 use morphtree_core::tree::TreeConfig;
 use morphtree_trace::workload::RecordSource;
 
@@ -81,6 +81,9 @@ pub struct SimResult {
     pub cycles: u64,
     /// Metadata-engine statistics (empty for the non-secure baseline).
     pub engine: morphtree_core::metadata::EngineStats,
+    /// Metadata-cache hit/miss/eviction statistics by tree level (all-zero
+    /// for the non-secure baseline, and covering the measured phase only).
+    pub cache: CacheStats,
     /// DRAM activity.
     pub dram: DramStats,
     /// Energy breakdown.
@@ -232,6 +235,10 @@ fn run<S: RecordSource + ?Sized>(
 
     let cycles = cores.iter().map(CoreModel::finish_cycle).max().expect("cores");
     let instructions: u64 = cores.iter().map(CoreModel::instructions).sum();
+    let cache_stats = engine
+        .as_ref()
+        .map(|e| *e.cache().stats())
+        .unwrap_or_default();
     let engine_stats = engine
         .as_ref()
         .map(|e| e.stats().clone())
@@ -244,7 +251,12 @@ fn run<S: RecordSource + ?Sized>(
             s.writes[0] = dram.stats().writes;
             s
         });
-    let energy = cfg.energy.evaluate(cycles, instructions, dram.stats());
+    // Zero-cycle runs have no meaningful breakdown; the all-zero default
+    // reports `None` power/EDP downstream rather than NaN.
+    let energy = cfg
+        .energy
+        .evaluate(cycles, instructions, dram.stats())
+        .unwrap_or_default();
 
     SimResult {
         workload: workload.name().to_owned(),
@@ -252,6 +264,7 @@ fn run<S: RecordSource + ?Sized>(
         instructions,
         cycles,
         engine: engine_stats,
+        cache: cache_stats,
         dram: *dram.stats(),
         energy,
     }
@@ -352,11 +365,26 @@ mod tests {
     }
 
     #[test]
+    fn cache_stats_cover_the_measured_phase_only() {
+        let cfg = quick();
+        let secure = simulate(&mut workload("mcf", &cfg, 7), TreeConfig::sc64(), &cfg);
+        // The warm-up resets cache stats, so whatever remains was accrued
+        // during measurement and must agree with the engine's miss traffic.
+        assert!(secure.cache.hits + secure.cache.misses > 0);
+        assert!(secure.cache.hit_rate().is_some());
+        let base = simulate_nonsecure(&mut workload("mcf", &cfg, 7), &cfg);
+        assert_eq!(base.cache, CacheStats::default());
+        assert_eq!(base.cache.hit_rate(), None);
+    }
+
+    #[test]
     fn energy_fields_are_consistent() {
         let cfg = quick();
         let r = simulate(&mut workload("lbm", &cfg, 6), TreeConfig::sc64(), &cfg);
-        assert!(r.energy.power_w() > 0.0);
-        assert!((r.energy.edp() - r.energy.energy_j() * r.energy.time_s).abs() < 1e-15);
+        assert!(r.energy.power_w().unwrap() > 0.0);
+        assert!(
+            (r.energy.edp().unwrap() - r.energy.energy_j() * r.energy.time_s).abs() < 1e-15
+        );
         assert!(r.ipc() > 0.0);
     }
 

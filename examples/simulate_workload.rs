@@ -52,7 +52,7 @@ fn main() {
         "-",
         "-",
         "-",
-        base.energy.edp() * 1e3,
+        base.energy.edp().unwrap_or_default() * 1e3,
     );
     for tree in configs {
         let r = simulate(&mut mk(), tree, &cfg);
@@ -70,7 +70,7 @@ fn main() {
             counters,
             r.engine.category_per_data_access(AccessCategory::Overflow),
             r.engine.overflows_per_million_accesses(),
-            r.energy.edp() * 1e3,
+            r.energy.edp().unwrap_or_default() * 1e3,
         );
     }
     println!(
