@@ -73,7 +73,7 @@ fn bench_codec(c: &mut Criterion) {
     });
     let image = sparse.encode();
     group.bench_function("morph_decode_zcc", |b| {
-        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image))));
+        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image)).unwrap()));
     });
 
     let mut dense = MorphLine::new(MorphMode::ZccRebase);
@@ -85,7 +85,7 @@ fn bench_codec(c: &mut Criterion) {
     });
     let image = dense.encode();
     group.bench_function("morph_decode_mcr", |b| {
-        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image))));
+        b.iter(|| black_box(MorphLine::decode(MorphMode::ZccRebase, black_box(&image)).unwrap()));
     });
 
     let config = SplitConfig::with_arity(64);

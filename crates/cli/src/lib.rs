@@ -13,6 +13,9 @@
 //! - `attack` — seeded fault-injection campaign against the functional
 //!   model: randomized tamper/replay/splice attacks on every tree config,
 //!   asserting 100% detection at the right tree location;
+//! - `snapshot` — write a populated secure memory to a checksummed
+//!   snapshot file (`--out`), or recover one and re-verify every MAC
+//!   bottom-up (`--verify`);
 //! - `stats` — render a `--metrics` JSON file as a human-readable
 //!   summary;
 //! - `list` — available workloads and tree configurations.
@@ -21,6 +24,12 @@
 //! dump an observability report (see [`metrics`]): histogram-backed DRAM
 //! latencies, per-level metadata-cache activity, crypto-op counts, and
 //! energy gauges, in one deterministic JSON schema.
+//!
+//! `simulate` and `sweep` accept `--snapshot FILE` / `--resume FILE` to
+//! checkpoint results and resume interrupted runs: a resumed invocation
+//! serves every run from the checkpoint and renders byte-identical
+//! output, and a checkpoint taken under different flags is refused with
+//! a typed error rather than silently blended.
 //!
 //! Argument parsing is hand-rolled (`--key value` flags) to keep the
 //! dependency set minimal.
@@ -68,7 +77,9 @@ impl Flags {
     ///
     /// # Errors
     ///
-    /// Rejects stray positionals and flags without values.
+    /// Rejects stray positionals, flags without values, and repeated flags
+    /// (letting `--seed 1 --seed 2` silently mean `--seed 2` would undermine
+    /// every reproducibility claim a sweep or attack log makes).
     pub fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
         let mut iter = args.iter();
@@ -79,7 +90,9 @@ impl Flags {
             let Some(value) = iter.next() else {
                 return Err(err(format!("flag --{key} needs a value")));
             };
-            values.insert(key.to_owned(), value.clone());
+            if values.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(err(format!("duplicate flag --{key} (each flag may appear once)")));
+            }
         }
         Ok(Flags { values })
     }
@@ -155,12 +168,14 @@ pub fn usage() -> String {
      \x20 geometry  [--memory-gib 16] [--config all|sc64|morph|...]\n\
      \x20 simulate  --workload NAME [--config morph] [--scale 16]\n\
      \x20           [--instructions 2000000] [--warmup 4000000] [--seed 42]\n\
-     \x20           [--metrics FILE]\n\
+     \x20           [--metrics FILE] [--snapshot FILE] [--resume FILE]\n\
      \x20 capture   --workload NAME --out FILE [--records 100000] [--cores 4]\n\
      \x20 replay    --trace FILE [--config morph] [--scale 16]\n\
      \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
      \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
-     \x20           [--metrics FILE] [--reports 1]\n\
+     \x20           [--metrics FILE] [--reports 1] [--snapshot FILE] [--resume FILE]\n\
+     \x20 snapshot  --out FILE | --verify FILE [--config morph]\n\
+     \x20           [--memory-kib 1024] [--lines 64] [--seed 42]\n\
      \x20 perf      [--out BENCH.json] [--quick 1] [--metrics FILE]\n\
      \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
      \x20           [--memory-kib 1024] [--lines 96] [--metrics FILE]\n\
@@ -191,6 +206,7 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "capture" => cmd_capture(&flags),
         "replay" => cmd_replay(&flags),
         "sweep" => cmd_sweep(&flags),
+        "snapshot" => cmd_snapshot(&flags),
         "perf" => perf::cmd_perf(&flags),
         "attack" => cmd_attack(&flags),
         "list" => Ok(cmd_list()),
@@ -287,39 +303,89 @@ fn format_result(result: &morphtree_sim::system::SimResult, baseline_ipc: f64) -
     )
 }
 
+/// The operating point of a `simulate` invocation, stamped into result
+/// snapshots so `--resume` can refuse a checkpoint taken under other
+/// flags instead of silently rendering stale numbers.
+fn simulate_fingerprint(name: &str, config: &str, scale: u64, cfg: &SimConfig, seed: u64) -> String {
+    format!(
+        "simulate workload={name} config={config} scale={scale} warmup={} measure={} seed={seed}",
+        cfg.warmup_instructions, cfg.measure_instructions,
+    )
+}
+
 fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_sim::persist::{load_results, save_results};
+    use morphtree_sim::system::SimResult;
+
     let name = flags.required("workload")?;
     let (cfg, scale, seed) = sim_config(flags)?;
+    let config_flag = flags.get_or("config", "compare");
+    let configs: Vec<TreeConfig> = match config_flag {
+        "compare" => vec![TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()],
+        other => vec![tree_by_name(other)?],
+    };
+    let fingerprint = simulate_fingerprint(name, config_flag, scale, &cfg, seed);
+
+    // The result batch (non-secure baseline first) comes either from the
+    // simulator or, under --resume, verbatim from a prior run's snapshot;
+    // everything below renders identically from either source.
+    let mut status = String::new();
+    let results: Vec<SimResult> = if let Some(path) = flags.get("resume") {
+        let bytes =
+            std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let (stored, results) = load_results(&bytes)
+            .map_err(|e| err(format!("cannot resume from {path}: {e}")))?;
+        if stored != fingerprint {
+            return Err(err(format!(
+                "snapshot {path} was taken at `{stored}`, which does not match the \
+                 requested `{fingerprint}` — rerun without --resume"
+            )));
+        }
+        if results.len() != configs.len() + 1 {
+            return Err(err(format!(
+                "snapshot {path} holds {} result(s), expected {}",
+                results.len(),
+                configs.len() + 1,
+            )));
+        }
+        writeln!(status, "\nresumed {} result(s) from {path}", results.len())
+            .expect("write to string");
+        results
+    } else {
+        let base = {
+            let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
+            simulate_nonsecure(&mut w, &cfg)
+        };
+        let mut results = vec![base];
+        for tree in configs {
+            let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
+            results.push(simulate(&mut w, tree, &cfg));
+        }
+        results
+    };
+
     let mut out = format!(
         "simulating `{name}` at scale {scale} ({} memory, {} metadata cache)\n\n",
         human(cfg.memory_bytes),
         human(cfg.metadata_cache_bytes as u64),
     );
-    let base = {
-        let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
-        simulate_nonsecure(&mut w, &cfg)
-    };
-    out.push_str(&format_result(&base, base.ipc()));
     let mut registry = morphtree_core::obs::MetricsRegistry::new();
-    metrics::sim_metrics(&mut registry, &format!("sim.{name}.{}", base.config), &base);
-    let configs: Vec<TreeConfig> = match flags.get_or("config", "compare") {
-        "compare" => vec![TreeConfig::vault(), TreeConfig::sc64(), TreeConfig::morphtree()],
-        other => vec![tree_by_name(other)?],
-    };
-    for tree in configs {
-        let mut w = workload_by_name(name, cfg.cores, cfg.memory_bytes, seed, scale)?;
-        let result = simulate(&mut w, tree, &cfg);
-        out.push_str(&format_result(&result, base.ipc()));
-        metrics::sim_metrics(
-            &mut registry,
-            &format!("sim.{name}.{}", result.config),
-            &result,
-        );
+    let baseline_ipc = results[0].ipc();
+    for result in &results {
+        out.push_str(&format_result(result, baseline_ipc));
+        metrics::sim_metrics(&mut registry, &format!("sim.{name}.{}", result.config), result);
+    }
+    if let Some(path) = flags.get("snapshot") {
+        std::fs::write(path, save_results(&fingerprint, &results))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "\nsnapshot written to {path} ({} result(s))", results.len())
+            .expect("write to string");
     }
     if let Some(path) = flags.get("metrics") {
         metrics::write_metrics(path, &registry)?;
         writeln!(out, "\nmetrics written to {path}").expect("write to string");
     }
+    out.push_str(&status);
     Ok(out)
 }
 
@@ -358,7 +424,7 @@ fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
-    use morphtree_experiments::{driver, Lab, Setup};
+    use morphtree_experiments::{checkpoint, driver, Lab, Setup};
 
     let figure = flags.get_or("figure", "all");
     let names: Vec<&str> = if figure == "all" {
@@ -379,8 +445,17 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     // by tests and by metrics-only invocations at off-default operating
     // points, which should not overwrite the committed reports.
     lab.emit_reports = flags.get_or("reports", "1") != "0";
-    let outcome = driver::run_figures(&mut lab, &names).map_err(err)?;
     let mut out = String::new();
+    if let Some(path) = flags.get("resume") {
+        // Seeding the memo before the sweep makes checkpointed runs
+        // cache hits; figure rendering is a pure function of the memo,
+        // so resumed output is byte-identical to an uninterrupted run.
+        let (sims, engines) = checkpoint::load_checkpoint(&mut lab, std::path::Path::new(path))
+            .map_err(|e| err(format!("cannot resume from {path}: {e}")))?;
+        writeln!(out, "resumed {} cached run(s) from {path}", sims + engines)
+            .expect("write to string");
+    }
+    let outcome = driver::run_figures(&mut lab, &names).map_err(err)?;
     if let Some(summary) = outcome.failure_summary() {
         out.push_str(&summary);
         out.push('\n');
@@ -411,6 +486,16 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
         metrics::write_metrics(path, &registry)?;
         writeln!(out, "metrics written to {path}").expect("write to string");
     }
+    if let Some(path) = flags.get("snapshot") {
+        checkpoint::save_checkpoint(&lab, std::path::Path::new(path))
+            .map_err(|e| err(format!("cannot write checkpoint: {e}")))?;
+        writeln!(
+            out,
+            "checkpoint written to {path} ({} run(s))",
+            lab.sim_results().len() + lab.engine_results().len(),
+        )
+        .expect("write to string");
+    }
     let rendered = names.len() - outcome.failed_figures.len();
     writeln!(
         out,
@@ -422,6 +507,56 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     )
     .expect("write to string");
     Ok(out)
+}
+
+fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::functional::SecureMemory;
+    use morphtree_core::persist;
+
+    let tree = tree_by_name(flags.get_or("config", "morph"))?;
+    match (flags.get("out"), flags.get("verify")) {
+        (Some(_), Some(_)) => Err(err("--out and --verify are mutually exclusive")),
+        (None, None) => {
+            Err(err("snapshot needs --out FILE (write one) or --verify FILE (recover + check)"))
+        }
+        (Some(path), None) => {
+            let memory_bytes = flags.number_or("memory-kib", 1024)?.max(1) << 10;
+            let seed = flags.number_or("seed", 42)?;
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&seed.to_le_bytes());
+            let mut memory = SecureMemory::new(tree, memory_bytes, key);
+            let lines = flags.number_or("lines", 64)?.min(memory.geometry().data_lines());
+            for line in 0..lines {
+                memory.write(line, &[(line as u8).wrapping_mul(37) ^ 0x6d; 64]);
+            }
+            let bytes = persist::save_memory(&memory);
+            std::fs::write(path, &bytes)
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "snapshot of {} over {} ({lines} populated line(s), {} tree levels) \
+                 written to {path} ({} bytes)\n",
+                memory.config().name(),
+                human(memory_bytes),
+                memory.geometry().top_level() + 1,
+                bytes.len(),
+            ))
+        }
+        (None, Some(path)) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            // Recovery with an empty log replays nothing: this is a pure
+            // load + bottom-up re-verification of every stored MAC.
+            let memory = persist::recover(&bytes, &[])
+                .map_err(|e| err(format!("{path}: snapshot failed verification: {e}")))?;
+            Ok(format!(
+                "{path}: snapshot verified — {} over {}, {} data line(s), every \
+                 counter level and data MAC re-checked\n",
+                memory.config().name(),
+                human(memory.geometry().memory_bytes()),
+                memory.geometry().data_lines(),
+            ))
+        }
+    }
 }
 
 fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
@@ -536,6 +671,16 @@ mod tests {
     }
 
     #[test]
+    fn flags_reject_duplicates() {
+        // Regression: `--seed 1 --seed 2` used to silently mean `--seed 2`.
+        let e = Flags::parse(&strs(&["--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(e.0.contains("duplicate flag --seed"), "{}", e.0);
+        // Distinct flags still parse, whatever the order.
+        let flags = Flags::parse(&strs(&["--seed", "1", "--count", "2"])).unwrap();
+        assert_eq!(flags.number_or("seed", 0).unwrap(), 1);
+    }
+
+    #[test]
     fn numbers_accept_underscores() {
         let flags = Flags::parse(&strs(&["--n", "1_000_000"])).unwrap();
         assert_eq!(flags.number_or("n", 0).unwrap(), 1_000_000);
@@ -621,6 +766,109 @@ mod tests {
     fn simulate_requires_a_workload() {
         let e = run("simulate", &[]).unwrap_err();
         assert!(e.0.contains("--workload"));
+    }
+
+    #[test]
+    fn snapshot_writes_and_verifies() {
+        let path = std::env::temp_dir().join("morphtree-cli-snap.mtsn");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run(
+            "snapshot",
+            &strs(&["--out", &path_str, "--config", "sc64", "--memory-kib", "256",
+                    "--lines", "16"]),
+        )
+        .unwrap();
+        assert!(out.contains("16 populated line(s)"), "{out}");
+        let out = run("snapshot", &strs(&["--verify", &path_str])).unwrap();
+        assert!(out.contains("snapshot verified"), "{out}");
+        assert!(out.contains("SC-64"), "{out}");
+
+        // A flipped byte in the image must fail verification with a typed
+        // message, not verify or panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let e = run("snapshot", &strs(&["--verify", &path_str])).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(e.0.contains("failed verification"), "{}", e.0);
+    }
+
+    #[test]
+    fn snapshot_rejects_flag_misuse() {
+        let e = run("snapshot", &[]).unwrap_err();
+        assert!(e.0.contains("--out"), "{}", e.0);
+        let e = run("snapshot", &strs(&["--out", "a", "--verify", "b"])).unwrap_err();
+        assert!(e.0.contains("mutually exclusive"), "{}", e.0);
+        let e = run("snapshot", &strs(&["--verify", "/nonexistent/x.mtsn"])).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
+    }
+
+    #[test]
+    fn simulate_resume_renders_identically_without_simulating() {
+        let path = std::env::temp_dir().join("morphtree-cli-simresume.mtsr");
+        let path_str = path.to_str().unwrap().to_owned();
+        let base = [
+            "--workload", "libquantum", "--config", "sc64", "--scale", "1024",
+            "--warmup", "20000", "--instructions", "20000",
+        ];
+        let mut with_snapshot = strs(&base);
+        with_snapshot.extend(strs(&["--snapshot", &path_str]));
+        let fresh = run("simulate", &with_snapshot).unwrap();
+        assert!(fresh.contains("snapshot written to"), "{fresh}");
+
+        let mut with_resume = strs(&base);
+        with_resume.extend(strs(&["--resume", &path_str]));
+        let resumed = run("simulate", &with_resume).unwrap();
+        assert!(resumed.contains("resumed 2 result(s) from"), "{resumed}");
+        // Identical body: everything up to the status lines matches byte
+        // for byte, so a resume is a faithful re-render, not a re-run.
+        let body = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("snapshot written") && !l.contains("resumed "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&fresh), body(&resumed));
+
+        // Different flags must be refused, not blended.
+        let mut mismatched = strs(&[
+            "--workload", "libquantum", "--config", "sc64", "--scale", "1024",
+            "--warmup", "20000", "--instructions", "20000", "--seed", "7",
+        ]);
+        mismatched.extend(strs(&["--resume", &path_str]));
+        let e = run("simulate", &mismatched).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(e.0.contains("does not match"), "{}", e.0);
+    }
+
+    #[test]
+    fn sweep_snapshot_and_resume_flags_round_trip() {
+        let path = std::env::temp_dir().join("morphtree-cli-sweepck.mtlc");
+        let path_str = path.to_str().unwrap().to_owned();
+        // ext_scaling is analytic (zero runs), so this exercises the
+        // checkpoint plumbing end-to-end in milliseconds.
+        let out = run(
+            "sweep",
+            &strs(&["--figure", "ext_scaling", "--reports", "0", "--snapshot", &path_str]),
+        )
+        .unwrap();
+        assert!(out.contains("checkpoint written to"), "{out}");
+        let out = run(
+            "sweep",
+            &strs(&["--figure", "ext_scaling", "--reports", "0", "--resume", &path_str]),
+        )
+        .unwrap();
+        assert!(out.contains("resumed 0 cached run(s) from"), "{out}");
+        // A checkpoint from one operating point must not seed another.
+        let e = run(
+            "sweep",
+            &strs(&["--figure", "ext_scaling", "--reports", "0", "--seed", "9",
+                    "--resume", &path_str]),
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(e.0.contains("does not match"), "{}", e.0);
     }
 
     #[test]

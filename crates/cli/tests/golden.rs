@@ -9,7 +9,7 @@
 //! debug test runs still cover the figure pipeline.
 
 use morphtree_cli::run;
-use morphtree_experiments::{driver, Lab, Setup};
+use morphtree_experiments::{checkpoint, driver, Lab, Setup};
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|a| (*a).to_owned()).collect()
@@ -61,6 +61,46 @@ fn fig07_quick_point_matches_fixture() {
     });
     let expected = format!("\n==== fig07 ====\n\n{}\n", include_str!("fixtures/fig07_quick.txt"));
     assert_eq!(report, expected);
+}
+
+/// Interrupt-and-resume must be invisible in the output: a sweep resumed
+/// from a checkpoint serves every run from the checkpoint (zero new
+/// simulations) and renders the figure byte-identical to the golden
+/// fixture from an uninterrupted run.
+#[test]
+fn fig07_resumed_sweep_matches_the_golden_fixture() {
+    let setup = Setup {
+        scale: 64,
+        warmup_instructions: 200_000,
+        measure_instructions: 100_000,
+        seed: 42,
+    };
+
+    // The "interrupted" sweep: run to completion, checkpoint the memo.
+    let mut lab = Lab::new(setup.clone());
+    lab.emit_reports = false;
+    driver::run_figures(&mut lab, &["fig07"]).expect("fig07 is a known figure");
+    let path = std::env::temp_dir().join("morphtree-golden-fig07.mtlc");
+    checkpoint::save_checkpoint(&lab, &path).expect("checkpoint writes");
+    let runs_before = lab.sim_results().len() + lab.engine_results().len();
+    assert!(runs_before > 0, "fig07 must memoize runs");
+
+    // The resumed sweep: a fresh lab seeded only from the checkpoint.
+    let mut resumed = Lab::new(setup);
+    resumed.emit_reports = false;
+    let (sims, engines) =
+        checkpoint::load_checkpoint(&mut resumed, &path).expect("checkpoint loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(sims + engines, runs_before, "every memoized run round-trips");
+    let outcome = driver::run_figures(&mut resumed, &["fig07"]).expect("resumed sweep renders");
+    assert!(outcome.is_clean(), "resumed sweep reported failures");
+    assert_eq!(
+        resumed.sim_results().len() + resumed.engine_results().len(),
+        runs_before,
+        "a resumed sweep must not simulate anything new"
+    );
+    let expected = format!("\n==== fig07 ====\n\n{}\n", include_str!("fixtures/fig07_quick.txt"));
+    assert_eq!(outcome.report, expected, "resumed render must be byte-identical");
 }
 
 /// The full default operating point — the exact output captured from the

@@ -26,7 +26,7 @@
 //! use morphtree_core::attack::{run_campaign, CampaignConfig};
 //! use morphtree_core::tree::TreeConfig;
 //!
-//! let campaign = CampaignConfig { count: 14, ..CampaignConfig::default() };
+//! let campaign = CampaignConfig { count: 16, ..CampaignConfig::default() };
 //! let report = run_campaign(&TreeConfig::sc64(), &campaign).unwrap();
 //! assert!(report.all_detected());
 //! ```
@@ -37,6 +37,7 @@ use std::fmt;
 
 use crate::error::{IntegrityError, TamperError};
 use crate::functional::SecureMemory;
+use crate::persist::{self, PersistentMemory, RecoveryError};
 use crate::tree::{TreeConfig, TreeGeometry};
 use crate::CACHELINE_BYTES;
 
@@ -64,11 +65,16 @@ pub enum AttackClass {
     /// Hammer one line to a counter-overflow re-encryption boundary, then
     /// tamper its freshly re-written level-0 counter.
     OverflowBoundary,
+    /// Tamper the persisted snapshot image, crash the WAL writer at a
+    /// random byte offset, and let recovery replay the torn log: the
+    /// bottom-up re-verification of the restored tree must surface the
+    /// tamper as a typed integrity error, never restore it silently.
+    CrashRecovery,
 }
 
 impl AttackClass {
     /// Every attack class, in campaign round-robin order.
-    pub const ALL: [AttackClass; 7] = [
+    pub const ALL: [AttackClass; 8] = [
         AttackClass::DataBitFlip,
         AttackClass::DataMacFlip,
         AttackClass::CounterMacFlip,
@@ -76,6 +82,7 @@ impl AttackClass {
         AttackClass::StaleReplay,
         AttackClass::CrossLineSplice,
         AttackClass::OverflowBoundary,
+        AttackClass::CrashRecovery,
     ];
 
     /// Stable kebab-case identifier (used in reports and CI logs).
@@ -89,6 +96,7 @@ impl AttackClass {
             AttackClass::StaleReplay => "stale-replay",
             AttackClass::CrossLineSplice => "cross-line-splice",
             AttackClass::OverflowBoundary => "overflow-boundary",
+            AttackClass::CrashRecovery => "crash-recovery",
         }
     }
 }
@@ -358,7 +366,7 @@ pub fn campaign_configs() -> Vec<(&'static str, TreeConfig)> {
 /// the runner fires [`CampaignConfig::count`] attacks round-robin over
 /// [`AttackClass::ALL`], each against a fresh clone of the victim state.
 /// Counter-targeting classes additionally cycle over every off-chip tree
-/// level, so a campaign of at least `7 * top_level` attacks provably
+/// level, so a campaign of at least `8 * top_level` attacks provably
 /// touches every `(class, level)` pair.
 ///
 /// # Errors
@@ -520,6 +528,39 @@ fn mount(
             m.tamper_counter_slot(0, line_idx, slot)?;
             IntegrityError::DataMac { line_addr: victim_addr }
         }
+        AttackClass::CrashRecovery => {
+            // The adversary flips a ciphertext bit of the victim line,
+            // snapshots the tampered image, then lets the machine journal
+            // more writes — to a *different* line, so WAL replay cannot
+            // heal the tamper — and crashes the writer at a random byte
+            // offset of the log. Recovery replays the torn log (any prefix
+            // restores a committed-transaction prefix) and re-verifies the
+            // tree bottom-up: the tampered line must surface as a typed
+            // integrity error, never load silently.
+            let offset = rng.below(CACHELINE_BYTES as u64) as usize;
+            let mask = 1u8 << rng.below(8);
+            m.tamper_raw(victim_line, offset, mask)?;
+            let snapshot = persist::save_memory(&m);
+            let other = (victim_line + 1 + rng.below(lines - 1)) % lines;
+            let mut journaled = PersistentMemory::from_memory(m);
+            for _ in 0..3 {
+                journaled.write(other, &random_payload(rng));
+            }
+            let wal = journaled.wal_bytes();
+            let cut = rng.below(wal.len() as u64 + 1) as usize;
+            let observed = match persist::recover(&snapshot, &wal[..cut]) {
+                Err(RecoveryError::Integrity(err)) => Some(err),
+                // A clean recovery of the tampered image (silent
+                // corruption) or a mis-typed error both count as misses.
+                Ok(_) | Err(_) => None,
+            };
+            return Ok(AttackOutcome {
+                class,
+                level,
+                expected: IntegrityError::DataMac { line_addr: victim_addr },
+                observed,
+            });
+        }
     };
     let observed = m.read(victim_line).err();
     Ok(AttackOutcome { class, level, expected, observed })
@@ -562,15 +603,15 @@ mod tests {
     #[test]
     fn every_campaign_config_detects_every_class() {
         for (key, tree) in campaign_configs() {
-            // 35 = 5 full round-robin laps over the 7 classes.
-            let report = run_campaign(&tree, &quick(35)).unwrap();
+            // 40 = 5 full round-robin laps over the 8 classes.
+            let report = run_campaign(&tree, &quick(40)).unwrap();
             assert!(
                 report.all_detected(),
                 "{key}: {}\n{}",
                 report.first_miss().unwrap_or("??"),
                 report.render()
             );
-            assert_eq!(report.total_attempts(), 35);
+            assert_eq!(report.total_attempts(), 40);
             for (_, tally) in report.classes() {
                 assert!(tally.attempts == 5, "{key}: round-robin should be even");
             }
@@ -580,7 +621,7 @@ mod tests {
     #[test]
     fn counter_classes_cover_every_offchip_level() {
         let tree = TreeConfig::sgx(); // deepest tree at 1 MiB
-        let campaign = quick(7 * 16);
+        let campaign = quick(8 * 16);
         let report = run_campaign(&tree, &campaign).unwrap();
         let mem = SecureMemory::new(tree, campaign.memory_bytes, [0; 16]);
         let top = mem.geometry().top_level();
@@ -639,7 +680,7 @@ mod tests {
 
     #[test]
     fn report_renders_a_summary_table() {
-        let report = run_campaign(&TreeConfig::sc64(), &quick(14)).unwrap();
+        let report = run_campaign(&TreeConfig::sc64(), &quick(16)).unwrap();
         let table = report.render();
         assert!(table.contains("SC-64"), "{table}");
         for class in AttackClass::ALL {

@@ -15,6 +15,7 @@
 
 use super::super::bits::{get_bits, set_bits};
 use super::{zcc_width, MorphFormat, MorphLine, MorphMode, MORPH_ARITY};
+use crate::error::CodecError;
 use crate::{CACHELINE_BITS, CACHELINE_BYTES, LINE_MAC_BITS};
 
 const MAC_OFFSET: usize = CACHELINE_BITS - LINE_MAC_BITS;
@@ -30,11 +31,13 @@ pub fn encode(line: &MorphLine, with_mac: bool) -> [u8; CACHELINE_BYTES] {
     match line.format {
         MorphFormat::Zcc => {
             let nonzero = line.values.iter().filter(|&&v| v != 0).count();
-            // The ZCC format invariant (at most 64 non-zero minors) is
-            // maintained by every increment path; encoding a violating line
-            // must fail loudly, not emit a corrupt image.
-            #[allow(clippy::expect_used)]
-            let width = zcc_width(nonzero).expect("ZCC format implies <= 64 non-zero") as usize;
+            let Some(width) = zcc_width(nonzero) else {
+                // The ZCC format invariant (at most 64 non-zero minors) is
+                // maintained by every increment path; encoding a violating
+                // line must fail loudly, not emit a corrupt image.
+                panic!("ZCC line with {nonzero} non-zero minors cannot be encoded");
+            };
+            let width = width as usize;
             set_bits(&mut image, 0, 1, 0);
             set_bits(&mut image, 1, 6, width as u64);
             assert!(line.major < 1 << 57, "ZCC major exceeds 57 bits");
@@ -82,12 +85,14 @@ pub fn encode(line: &MorphLine, with_mac: bool) -> [u8; CACHELINE_BYTES] {
 /// Decodes a 64-byte image back into a line (the `mode` is configuration,
 /// not stored in the image).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the image is not a well-formed morphable line (e.g. the stored
-/// `ctr-sz` disagrees with the bit-vector population count).
-#[must_use]
-pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
+/// Returns [`CodecError`] if the image is not a well-formed morphable line
+/// (e.g. the stored `ctr-sz` disagrees with the bit-vector population
+/// count). Images only ever come from [`encode`], so a decode failure means
+/// the stored bytes were corrupted in flight — a torn snapshot write, bit
+/// rot, or tampering below the MAC layer.
+pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> Result<MorphLine, CodecError> {
     let mut line = MorphLine::new(mode);
     line.mac = get_bits(image, MAC_OFFSET, LINE_MAC_BITS);
     if get_bits(image, 0, 1) == 1 {
@@ -97,7 +102,7 @@ pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
         for slot in 0..MORPH_ARITY {
             line.values[slot] = get_bits(image, 64 + 3 * slot, 3) as u16;
         }
-        return line;
+        return Ok(line);
     }
     let ctr_sz = get_bits(image, 1, 6);
     line.major = get_bits(image, 7, 57);
@@ -106,7 +111,7 @@ pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
         for slot in 0..MORPH_ARITY {
             line.values[slot] = get_bits(image, 64 + 3 * slot, 3) as u16;
         }
-        return line;
+        return Ok(line);
     }
     line.format = MorphFormat::Zcc;
     let mut nonzero_slots = Vec::new();
@@ -115,22 +120,17 @@ pub fn decode(mode: MorphMode, image: &[u8; CACHELINE_BYTES]) -> MorphLine {
             nonzero_slots.push(slot);
         }
     }
-    // A decode is only reached for images this codec produced (the
-    // functional memory tampers *semantically*, never on raw counter
-    // images); an over-populated bit-vector means memory corruption and
-    // must stay a loud failure.
-    #[allow(clippy::expect_used)]
-    let width = zcc_width(nonzero_slots.len()).expect("bit-vector population <= 64") as usize;
-    assert_eq!(
-        width as u64, ctr_sz,
-        "stored ctr-sz disagrees with bit-vector population"
-    );
+    let width = zcc_width(nonzero_slots.len())
+        .ok_or(CodecError::TooManyNonZero { nonzero: nonzero_slots.len() })? as usize;
+    if width as u64 != ctr_sz {
+        return Err(CodecError::CtrSizeMismatch { stored: ctr_sz, derived: width as u64 });
+    }
     let mut bit = 192;
     for slot in nonzero_slots {
         line.values[slot] = get_bits(image, bit, width) as u16;
         bit += width;
     }
-    line
+    Ok(line)
 }
 
 #[cfg(test)]
@@ -139,7 +139,7 @@ mod tests {
     use crate::counters::{CounterLine, IncrementOutcome};
 
     fn roundtrip(line: &MorphLine) {
-        let decoded = decode(line.mode(), &line.encode());
+        let decoded = decode(line.mode(), &line.encode()).unwrap();
         assert_eq!(&decoded, line);
     }
 
@@ -233,8 +233,23 @@ mod tests {
         let mut image = line.encode();
         // Corrupt the ctr-sz field (bits 1..7) to 5.
         crate::counters::bits::set_bits(&mut image, 1, 6, 5);
-        let result = std::panic::catch_unwind(|| decode(MorphMode::ZccRebase, &image));
-        assert!(result.is_err());
+        assert_eq!(
+            decode(MorphMode::ZccRebase, &image),
+            Err(CodecError::CtrSizeMismatch { stored: 5, derived: 16 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_overfull_bit_vectors_with_a_typed_error() {
+        let mut image = MorphLine::new(MorphMode::ZccRebase).encode();
+        // Mark 65 counters non-zero: no ZCC width schedule covers that.
+        for slot in 0..65 {
+            crate::counters::bits::set_bits(&mut image, 64 + slot, 1, 1);
+        }
+        assert_eq!(
+            decode(MorphMode::ZccRebase, &image),
+            Err(CodecError::TooManyNonZero { nonzero: 65 })
+        );
     }
 
     #[test]
@@ -262,7 +277,7 @@ mod tests {
         for slot in 0..70 {
             a.increment(slot % 128);
         }
-        let mut b = decode(MorphMode::ZccRebase, &a.encode());
+        let mut b = decode(MorphMode::ZccRebase, &a.encode()).unwrap();
         for slot in [0usize, 64, 127, 5] {
             let oa = a.increment(slot);
             let ob = b.increment(slot);

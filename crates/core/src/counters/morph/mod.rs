@@ -150,11 +150,12 @@ impl MorphLine {
     /// Decodes a line from its 64-byte image (the inverse of
     /// [`CounterLine::encode`]; the `mode` is configuration, not stored).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the image is not a well-formed morphable line.
-    #[must_use]
-    pub fn decode(mode: MorphMode, image: &LineImage) -> Self {
+    /// Returns [`crate::error::CodecError`] if the image is not a
+    /// well-formed morphable line — images only ever come from the codec,
+    /// so a failure means the stored bytes were corrupted.
+    pub fn decode(mode: MorphMode, image: &LineImage) -> Result<Self, crate::error::CodecError> {
         codec::decode(mode, image)
     }
 

@@ -52,6 +52,47 @@ impl fmt::Display for IntegrityError {
 
 impl Error for IntegrityError {}
 
+/// Raised when a 64-byte counter-line image cannot be decoded back into a
+/// line — i.e. the image violates the bit-exact layout rules of
+/// [`crate::counters::morph`]'s codec. Off-chip images only ever come from
+/// this codec, so a decode failure means the stored image was corrupted
+/// (torn snapshot write, bit rot, tampering below the MAC layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The ZCC bit-vector marks more than 64 counters as non-zero, which no
+    /// ZCC width schedule can represent.
+    TooManyNonZero {
+        /// Population count of the bit-vector.
+        nonzero: usize,
+    },
+    /// The stored `ctr-sz` field disagrees with the width derived from the
+    /// bit-vector population count.
+    CtrSizeMismatch {
+        /// The `ctr-sz` value stored in the image.
+        stored: u64,
+        /// The width the bit-vector population implies.
+        derived: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TooManyNonZero { nonzero } => {
+                write!(f, "ZCC image marks {nonzero} non-zero counters (at most 64 encodable)")
+            }
+            CodecError::CtrSizeMismatch { stored, derived } => {
+                write!(
+                    f,
+                    "stored ctr-sz {stored} disagrees with bit-vector-derived width {derived}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
 /// Raised by the [`crate::functional::SecureMemory`] adversary hooks when an
 /// attack cannot be mounted because the targeted off-chip state does not
 /// exist (e.g. tampering a line that was never written).

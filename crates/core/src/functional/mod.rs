@@ -36,8 +36,10 @@ use std::cell::Cell;
 
 use morphtree_crypto::{CtrModeCipher, MacKey};
 
-use crate::counters::{CounterLine, IncrementOutcome, Line};
-use crate::error::{IntegrityError, TamperError};
+use crate::counters::morph::MorphLine;
+use crate::counters::split::{SplitConfig, SplitLine};
+use crate::counters::{CounterLine, CounterOrg, IncrementOutcome, Line};
+use crate::error::{CodecError, IntegrityError, TamperError};
 use crate::store::PagedStore;
 use crate::tree::{TreeConfig, TreeGeometry};
 use crate::CACHELINE_BYTES;
@@ -51,6 +53,28 @@ pub struct LineSnapshot {
     ciphertext: [u8; CACHELINE_BYTES],
     mac: u64,
     counter_line: Line,
+}
+
+/// The set of lines a sequence of writes touched, recorded while
+/// journaling is enabled (see [`SecureMemory::begin_journal`]).
+///
+/// `BTreeSet`s keep the iteration order deterministic, so the WAL records
+/// the persistence layer derives from a journal are byte-stable across
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationJournal {
+    /// Data lines whose ciphertext or MAC changed.
+    pub data_lines: std::collections::BTreeSet<u64>,
+    /// Counter lines `(level, line_idx)` whose content changed.
+    pub counter_lines: std::collections::BTreeSet<(usize, u64)>,
+}
+
+impl MutationJournal {
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data_lines.is_empty() && self.counter_lines.is_empty()
+    }
 }
 
 /// Running totals of cryptographic primitive invocations inside a
@@ -92,6 +116,11 @@ pub struct SecureMemory {
     geometry: TreeGeometry,
     cipher: CtrModeCipher,
     mac_key: MacKey,
+    /// The construction key, retained so the persistence layer can rebuild
+    /// an identical memory from a snapshot. A *model* concession: real
+    /// hardware never externalizes its key; here the snapshot stands in for
+    /// the SoC's sealed state.
+    key: [u8; 16],
     /// Ciphertext per data line (absent = never written; reads return
     /// zeroes without touching the tree). Paged flat store keyed by line
     /// index (see [`crate::store`]).
@@ -114,6 +143,10 @@ pub struct SecureMemory {
     /// verification path is `&self` but still performs (and must count)
     /// MAC and decryption work.
     crypto: Cell<CryptoOps>,
+    /// Mutation journal, populated while enabled (see
+    /// [`SecureMemory::begin_journal`]). `None` costs nothing on the write
+    /// path.
+    journal: Option<MutationJournal>,
 }
 
 impl SecureMemory {
@@ -134,6 +167,7 @@ impl SecureMemory {
             config,
             cipher: CtrModeCipher::new(key),
             mac_key: MacKey::new(mac_seed),
+            key,
             data: PagedStore::new(geometry.data_lines()),
             data_macs: PagedStore::new(geometry.data_lines()),
             levels: geometry
@@ -144,8 +178,15 @@ impl SecureMemory {
             reencryptions: 0,
             bump_scratch: Vec::new(),
             crypto: Cell::new(CryptoOps::default()),
+            journal: None,
             geometry,
         }
+    }
+
+    /// The tree configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
     }
 
     /// Crypto-primitive invocation totals accumulated so far.
@@ -210,6 +251,11 @@ impl SecureMemory {
     }
 
     /// Recomputes and stores the MAC of a metadata line.
+    ///
+    /// Every counter-line mutation a write performs ends with a MAC refresh
+    /// of the touched line (increments in [`SecureMemory::bump`], overflow
+    /// child repairs), so this is the single choke point where counter
+    /// mutations reach the journal.
     fn refresh_line_mac(&mut self, level: usize, line_idx: u64) {
         let body = {
             let line = self.line_or_new(level, line_idx);
@@ -217,6 +263,9 @@ impl SecureMemory {
         };
         let mac = self.counter_line_mac(level, line_idx, &body);
         self.line_or_new(level, line_idx).set_mac(mac);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.counter_lines.insert((level, line_idx));
+        }
     }
 
     /// Re-encrypts a data child after its effective counter changed from
@@ -236,6 +285,9 @@ impl SecureMemory {
             self.data.insert(data_line, fresh);
             self.data_macs.insert(data_line, mac);
             self.reencryptions += 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.data_lines.insert(data_line);
+            }
         }
     }
 
@@ -307,6 +359,9 @@ impl SecureMemory {
         let mac = self.mac_key.mac_line(addr, counter, &ciphertext).0;
         self.data.insert(data_line, ciphertext);
         self.data_macs.insert(data_line, mac);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.data_lines.insert(data_line);
+        }
     }
 
     /// Reads and verifies a line: checks the data MAC and every counter-line
@@ -356,6 +411,160 @@ impl SecureMemory {
                 // The root line (level == top) is on-chip: trusted.
             }
             child = line_idx;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence interface (journaling, full-state export/restore).
+    //
+    // Used by `crate::persist` to snapshot a memory, derive WAL records
+    // from writes, and rebuild a memory during recovery. The restore hooks
+    // are `pub(crate)`: only the recovery path, which validates indices
+    // against the geometry first, may bypass the write path.
+    // ------------------------------------------------------------------
+
+    /// Starts recording which lines future writes touch; any previous
+    /// journal is discarded.
+    pub fn begin_journal(&mut self) {
+        self.journal = Some(MutationJournal::default());
+    }
+
+    /// Takes the mutations recorded since [`SecureMemory::begin_journal`]
+    /// (or the previous take), leaving journaling enabled with an empty
+    /// journal. Returns an empty journal when journaling was never enabled.
+    pub fn take_journal(&mut self) -> MutationJournal {
+        match self.journal.as_mut() {
+            Some(journal) => std::mem::take(journal),
+            None => MutationJournal::default(),
+        }
+    }
+
+    /// The construction key (see the field note: a model stand-in for the
+    /// SoC's sealed state).
+    pub(crate) fn key(&self) -> [u8; 16] {
+        self.key
+    }
+
+    /// The stored per-data-line state, for snapshot export.
+    pub(crate) fn data_store(&self) -> &PagedStore<[u8; CACHELINE_BYTES]> {
+        &self.data
+    }
+
+    /// The stored per-data-line MACs, for snapshot export.
+    pub(crate) fn mac_store(&self) -> &PagedStore<u64> {
+        &self.data_macs
+    }
+
+    /// The counter-line stores per level, for snapshot export.
+    pub(crate) fn level_stores(&self) -> &[PagedStore<Line>] {
+        &self.levels
+    }
+
+    /// Ciphertext and MAC of a written data line (`None` unless both are
+    /// present), for WAL record derivation.
+    pub(crate) fn data_line_state(&self, line: u64) -> Option<([u8; CACHELINE_BYTES], u64)> {
+        Some((*self.data.get(line)?, *self.data_macs.get(line)?))
+    }
+
+    /// Encoded 64-byte image of a stored counter line, for WAL record
+    /// derivation.
+    pub(crate) fn counter_line_image(
+        &self,
+        level: usize,
+        line_idx: u64,
+    ) -> Option<[u8; CACHELINE_BYTES]> {
+        self.levels.get(level)?.get(line_idx).map(|line| line.encode())
+    }
+
+    /// Restores a data line's off-chip tuple verbatim. The caller must have
+    /// validated `line` against the geometry.
+    pub(crate) fn restore_data_line(
+        &mut self,
+        line: u64,
+        ciphertext: [u8; CACHELINE_BYTES],
+        mac: u64,
+    ) {
+        self.restore_ciphertext(line, ciphertext);
+        self.restore_mac(line, mac);
+    }
+
+    /// Restores a stored ciphertext alone (the snapshot format keeps
+    /// ciphertexts and MACs in separate sections, and the two stores can
+    /// legitimately diverge under adversary hooks).
+    pub(crate) fn restore_ciphertext(&mut self, line: u64, ciphertext: [u8; CACHELINE_BYTES]) {
+        self.data.insert(line, ciphertext);
+    }
+
+    /// Restores a stored data MAC alone.
+    pub(crate) fn restore_mac(&mut self, line: u64, mac: u64) {
+        self.data_macs.insert(line, mac);
+    }
+
+    /// Restores a counter line from its encoded image, decoding it under
+    /// the level's configured organization. The caller must have validated
+    /// `level` and `line_idx` against the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] when the image is not a valid encoding for
+    /// the level's counter organization.
+    pub(crate) fn restore_counter_line(
+        &mut self,
+        level: usize,
+        line_idx: u64,
+        image: &[u8; CACHELINE_BYTES],
+    ) -> Result<(), CodecError> {
+        let line = match self.config.org(level) {
+            CounterOrg::Split { arity } => {
+                Line::from(SplitLine::decode(SplitConfig::with_arity(arity), image))
+            }
+            CounterOrg::Morph(mode) => Line::from(MorphLine::decode(mode, image)?),
+        };
+        self.levels[level].insert(line_idx, line);
+        Ok(())
+    }
+
+    /// Overwrites the re-encryption total (restored alongside the rest of
+    /// the snapshot so observable costs survive a resume).
+    pub(crate) fn set_reencryptions(&mut self, reencryptions: u64) {
+        self.reencryptions = reencryptions;
+    }
+
+    /// Verifies the *entire* stored state bottom-up: every off-chip
+    /// counter line's MAC under its parent counter, then every data line's
+    /// MAC under its effective counter.
+    ///
+    /// This is the recovery acceptance check — a restored memory passes iff
+    /// its state is one the write path could have produced — but it is
+    /// callable anytime as a whole-memory audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] found, identifying the failing
+    /// line.
+    pub fn verify_all(&self) -> Result<(), IntegrityError> {
+        for level in 0..self.geometry.top_level() {
+            for (line_idx, line) in self.levels[level].iter() {
+                let body = line.encode_for_mac();
+                let expect = self.counter_line_mac(level, line_idx, &body);
+                if line.mac() != expect {
+                    return Err(IntegrityError::CounterMac { level, line_idx });
+                }
+            }
+        }
+        for (data_line, ciphertext) in self.data.iter() {
+            let addr = self.data_addr(data_line);
+            let counter = self.counter_of(data_line);
+            self.charge(|ops| ops.mac_computes += 1);
+            let expect = self.mac_key.mac_line(addr, counter, ciphertext).0;
+            match self.data_macs.get(data_line) {
+                None => return Err(IntegrityError::MissingMac { line_addr: addr }),
+                Some(&stored) if stored != expect => {
+                    return Err(IntegrityError::DataMac { line_addr: addr });
+                }
+                Some(_) => {}
+            }
         }
         Ok(())
     }

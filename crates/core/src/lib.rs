@@ -58,10 +58,11 @@ pub mod error;
 pub mod functional;
 pub mod metadata;
 pub mod obs;
+pub mod persist;
 pub mod store;
 pub mod tree;
 
-pub use error::{IntegrityError, TamperError};
+pub use error::{CodecError, IntegrityError, TamperError};
 
 /// Size of a cacheline (and of every counter-line entry) in bytes.
 pub const CACHELINE_BYTES: usize = 64;

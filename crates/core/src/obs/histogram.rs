@@ -166,6 +166,24 @@ impl Histogram {
         }
     }
 
+    /// Raw parts `(buckets, count, sum, min, max)` for the persistence
+    /// layer, including the empty-sentinel min/max values so a restored
+    /// histogram is field-identical.
+    pub(crate) fn export_parts(&self) -> ([u64; NUM_BUCKETS], u64, u128, u64, u64) {
+        (self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from [`Histogram::export_parts`] output.
+    pub(crate) fn from_parts(
+        buckets: [u64; NUM_BUCKETS],
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram { buckets, count, sum, min, max }
+    }
+
     /// Occupied buckets as `(low, high, count)` triples, low to high.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets

@@ -1,0 +1,744 @@
+//! Crash-consistent persistence for the secure-memory state: versioned,
+//! checksummed snapshots plus a write-ahead log, with a recovery path that
+//! re-verifies the restored tree through the functional verification
+//! machinery.
+//!
+//! # Why a secure memory needs this
+//!
+//! A real secure-memory controller keeps counters and tree nodes in
+//! volatile caches backed by DRAM; persisting that state (hibernate,
+//! checkpoint, NVM deployments à la Triad-NVM / Anubis) must tolerate
+//! power loss at *any* instant. This module reproduces that problem shape
+//! for the simulator: the full [`SecureMemory`] state serializes to a
+//! [`save_memory`] snapshot, every write appends a committed transaction
+//! to a [`WalWriter`] log, and [`recover`] rebuilds the state from
+//! `snapshot + any WAL prefix` — then proves the result through
+//! [`SecureMemory::verify_all`] before handing it back.
+//!
+//! # Format overview
+//!
+//! A snapshot is `b"MTSN"` + version + a fixed sequence of sections, each
+//! framed as `[tag: u32][len: u64][payload][fnv1a64(payload): u64]`:
+//!
+//! | tag | section  | payload |
+//! |-----|----------|---------|
+//! | 1   | `CONFIG` | tree name + counter organizations |
+//! | 2   | `STATE`  | memory size, key, re-encryption total |
+//! | 3   | `DATA`   | `(line, ciphertext)` pairs, index order |
+//! | 4   | `MACS`   | `(line, mac)` pairs, index order |
+//! | 5   | `LEVELS` | per level: `(line_idx, encoded image)` pairs |
+//!
+//! Serialization iterates [`crate::store::PagedStore`] in index order, so
+//! equal states produce byte-identical snapshots regardless of history —
+//! the property the resumed-sweep determinism tests pin.
+//!
+//! The WAL format and its torn-write rules live in [`wal`]; the metadata
+//! (timing) engine has its own snapshot in [`engine`].
+//!
+//! # Failure taxonomy
+//!
+//! Recovery never panics and never silently accepts divergence: every
+//! failure is a typed [`RecoveryError`]. Truncation mid-WAL-record is
+//! *expected* (a torn write) and recovers to the last committed
+//! transaction; anything else — bad magic, checksum mismatch, malformed
+//! counter images, out-of-range indices, a restored tree that fails MAC
+//! verification — is reported, not repaired.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::counters::morph::MorphMode;
+use crate::counters::{CounterLine, CounterOrg};
+use crate::error::{CodecError, IntegrityError};
+use crate::functional::SecureMemory;
+use crate::tree::TreeConfig;
+use crate::CACHELINE_BYTES;
+
+pub mod codec;
+pub mod engine;
+pub mod wal;
+
+use codec::{fnv1a, ByteReader, ByteWriter, Truncated};
+pub use wal::{replay, WalRecord, WalTransaction, WalWriter};
+
+/// Snapshot file magic (`MTSN` = MorphTree SNapshot).
+pub const MAGIC: [u8; 4] = *b"MTSN";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on the protected-memory size a snapshot may declare
+/// (1 TiB). A corrupt size field must fail typed, not exhaust the host
+/// allocating stores for a fictitious geometry.
+pub const MAX_MEMORY_BYTES: u64 = 1 << 40;
+
+pub(crate) const SEC_CONFIG: u32 = 1;
+pub(crate) const SEC_STATE: u32 = 2;
+pub(crate) const SEC_DATA: u32 = 3;
+pub(crate) const SEC_MACS: u32 = 4;
+pub(crate) const SEC_LEVELS: u32 = 5;
+
+/// Why a snapshot or WAL could not be restored.
+///
+/// Every variant is a *diagnosis*: recovery refuses to guess, so callers
+/// (the CLI `--resume` path, the crash-fault attack campaign) can assert
+/// that a damaged input is reported rather than silently absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The input does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version the file declares.
+        version: u32,
+    },
+    /// The input ended before a field did (offset within the buffer being
+    /// parsed at that point).
+    Truncated {
+        /// Byte offset of the missing field.
+        offset: usize,
+    },
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// Tag of the failing section.
+        section: u32,
+    },
+    /// The snapshot is structurally invalid (wrong section order, trailing
+    /// bytes, inconsistent counts, out-of-bounds declared sizes).
+    CorruptSnapshot {
+        /// Byte offset where the violation was detected.
+        offset: usize,
+    },
+    /// A *complete* WAL record is checksum-invalid, malformed, or violates
+    /// transaction structure (see [`wal`] for the torn-write rules that
+    /// distinguish this from benign truncation).
+    CorruptWal {
+        /// Byte offset of the offending record.
+        offset: usize,
+    },
+    /// A restored record names a data line outside the snapshot's
+    /// geometry.
+    DataLineOutOfRange {
+        /// The offending line index.
+        line: u64,
+    },
+    /// A restored record names a counter line outside the snapshot's
+    /// geometry.
+    CounterLineOutOfRange {
+        /// Tree level of the offending record.
+        level: usize,
+        /// The offending line index.
+        line_idx: u64,
+    },
+    /// A counter-line image failed to decode under the level's configured
+    /// counter organization.
+    MalformedLine(CodecError),
+    /// The restored state failed bottom-up MAC verification — the snapshot
+    /// and WAL were individually well-formed but do not describe a state
+    /// the write path could have produced.
+    Integrity(IntegrityError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            RecoveryError::UnsupportedVersion { version } => {
+                write!(f, "unsupported snapshot version {version} (expected {VERSION})")
+            }
+            RecoveryError::Truncated { offset } => {
+                write!(f, "input truncated at byte {offset}")
+            }
+            RecoveryError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            RecoveryError::CorruptSnapshot { offset } => {
+                write!(f, "corrupt snapshot structure at byte {offset}")
+            }
+            RecoveryError::CorruptWal { offset } => {
+                write!(f, "corrupt WAL record at byte {offset}")
+            }
+            RecoveryError::DataLineOutOfRange { line } => {
+                write!(f, "data line {line} outside the snapshot geometry")
+            }
+            RecoveryError::CounterLineOutOfRange { level, line_idx } => {
+                write!(f, "counter line {line_idx} at level {level} outside the snapshot geometry")
+            }
+            RecoveryError::MalformedLine(err) => {
+                write!(f, "counter-line image failed to decode: {err}")
+            }
+            RecoveryError::Integrity(err) => {
+                write!(f, "restored state failed verification: {err}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::MalformedLine(err) => Some(err),
+            RecoveryError::Integrity(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<Truncated> for RecoveryError {
+    fn from(t: Truncated) -> Self {
+        RecoveryError::Truncated { offset: t.offset }
+    }
+}
+
+pub(crate) fn write_org(w: &mut ByteWriter, org: CounterOrg) {
+    match org {
+        CounterOrg::Split { arity } => {
+            w.u8(0);
+            w.u32(arity as u32);
+        }
+        CounterOrg::Morph(mode) => {
+            w.u8(1);
+            w.u8(match mode {
+                MorphMode::ZccOnly => 0,
+                MorphMode::ZccRebase => 1,
+                MorphMode::SingleBase => 2,
+            });
+        }
+    }
+}
+
+pub(crate) fn read_org(r: &mut ByteReader<'_>) -> Result<CounterOrg, RecoveryError> {
+    let offset = r.offset();
+    match r.u8()? {
+        0 => {
+            let arity = r.u32()? as usize;
+            // SplitConfig supports minor widths down to arity 8 per line;
+            // 0 or a non-divisor would panic inside the constructor.
+            if arity == 0 || arity > 1024 || !arity.is_power_of_two() {
+                return Err(RecoveryError::CorruptSnapshot { offset });
+            }
+            Ok(CounterOrg::Split { arity })
+        }
+        1 => {
+            let mode = match r.u8()? {
+                0 => MorphMode::ZccOnly,
+                1 => MorphMode::ZccRebase,
+                2 => MorphMode::SingleBase,
+                _ => return Err(RecoveryError::CorruptSnapshot { offset }),
+            };
+            Ok(CounterOrg::Morph(mode))
+        }
+        _ => Err(RecoveryError::CorruptSnapshot { offset }),
+    }
+}
+
+pub(crate) fn write_config(w: &mut ByteWriter, config: &TreeConfig) {
+    w.str(config.name());
+    write_org(w, config.org(0));
+    let orgs = config.tree_orgs();
+    w.u32(orgs.len() as u32);
+    for &org in orgs {
+        write_org(w, org);
+    }
+}
+
+pub(crate) fn read_config(r: &mut ByteReader<'_>) -> Result<TreeConfig, RecoveryError> {
+    let name = r.str()?.to_string();
+    let enc_org = read_org(r)?;
+    let offset = r.offset();
+    let count = r.u32()? as usize;
+    // At least one tree org (the constructor's invariant) and a sane bound
+    // so a corrupt count cannot drive a giant allocation.
+    if count == 0 || count > 64 {
+        return Err(RecoveryError::CorruptSnapshot { offset });
+    }
+    let mut tree_orgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        tree_orgs.push(read_org(r)?);
+    }
+    Ok(TreeConfig::new(name, enc_org, tree_orgs))
+}
+
+pub(crate) fn write_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+}
+
+pub(crate) fn read_section<'a>(
+    r: &mut ByteReader<'a>,
+    expect: u32,
+) -> Result<ByteReader<'a>, RecoveryError> {
+    let offset = r.offset();
+    let tag = r.u32()?;
+    if tag != expect {
+        return Err(RecoveryError::CorruptSnapshot { offset });
+    }
+    let len = r.u64()?;
+    let len = usize::try_from(len).map_err(|_| RecoveryError::CorruptSnapshot { offset })?;
+    let payload = r.bytes(len)?;
+    let stored = r.u64()?;
+    if fnv1a(payload) != stored {
+        return Err(RecoveryError::ChecksumMismatch { section: tag });
+    }
+    Ok(ByteReader::new(payload))
+}
+
+/// A fully-consumed section: trailing payload bytes are corruption.
+fn expect_exhausted(r: &ByteReader<'_>) -> Result<(), RecoveryError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(RecoveryError::CorruptSnapshot { offset: r.offset() })
+    }
+}
+
+/// Serializes the complete state of `mem` into a snapshot.
+///
+/// The output is deterministic: equal memory states serialize
+/// byte-identically regardless of the write history that produced them.
+#[must_use]
+pub fn save_memory(mem: &SecureMemory) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+
+    let mut w = ByteWriter::new();
+    write_config(&mut w, mem.config());
+    write_section(&mut out, SEC_CONFIG, &w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    w.u64(mem.geometry().memory_bytes());
+    w.bytes(&mem.key());
+    w.u64(mem.reencryptions());
+    write_section(&mut out, SEC_STATE, &w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    let data = mem.data_store();
+    w.u64(data.len());
+    for (line, ciphertext) in data.iter() {
+        w.u64(line);
+        w.bytes(ciphertext);
+    }
+    write_section(&mut out, SEC_DATA, &w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    let macs = mem.mac_store();
+    w.u64(macs.len());
+    for (line, &mac) in macs.iter() {
+        w.u64(line);
+        w.u64(mac);
+    }
+    write_section(&mut out, SEC_MACS, &w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    w.u32(mem.level_stores().len() as u32);
+    for store in mem.level_stores() {
+        w.u64(store.len());
+        for (line_idx, line) in store.iter() {
+            w.u64(line_idx);
+            w.bytes(&line.encode());
+        }
+    }
+    write_section(&mut out, SEC_LEVELS, &w.into_bytes());
+
+    out
+}
+
+/// Deserializes a [`save_memory`] snapshot.
+///
+/// Restores state verbatim *without* verifying it; [`recover`] layers WAL
+/// replay and full verification on top.
+///
+/// # Errors
+///
+/// Returns a [`RecoveryError`] describing the first problem found: bad
+/// magic or version, truncation, checksum mismatch, structural corruption,
+/// out-of-range indices, or undecodable counter images.
+pub fn load_memory(bytes: &[u8]) -> Result<SecureMemory, RecoveryError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4).map_err(|_| RecoveryError::BadMagic)? != MAGIC {
+        return Err(RecoveryError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(RecoveryError::UnsupportedVersion { version });
+    }
+
+    let mut sec = read_section(&mut r, SEC_CONFIG)?;
+    let config = read_config(&mut sec)?;
+    expect_exhausted(&sec)?;
+
+    let mut sec = read_section(&mut r, SEC_STATE)?;
+    let size_offset = sec.offset();
+    let memory_bytes = sec.u64()?;
+    let key: [u8; 16] = sec
+        .bytes(16)?
+        .try_into()
+        .map_err(|_| RecoveryError::CorruptSnapshot { offset: size_offset })?;
+    let reencryptions = sec.u64()?;
+    expect_exhausted(&sec)?;
+    if memory_bytes == 0
+        || memory_bytes % CACHELINE_BYTES as u64 != 0
+        || memory_bytes > MAX_MEMORY_BYTES
+    {
+        return Err(RecoveryError::CorruptSnapshot { offset: size_offset });
+    }
+
+    let mut mem = SecureMemory::new(config, memory_bytes, key);
+    mem.set_reencryptions(reencryptions);
+
+    let mut sec = read_section(&mut r, SEC_DATA)?;
+    let count = sec.u64()?;
+    for _ in 0..count {
+        let line = sec.u64()?;
+        let ciphertext = sec.line()?;
+        if line >= mem.geometry().data_lines() {
+            return Err(RecoveryError::DataLineOutOfRange { line });
+        }
+        mem.restore_ciphertext(line, ciphertext);
+    }
+    expect_exhausted(&sec)?;
+
+    let mut sec = read_section(&mut r, SEC_MACS)?;
+    let count = sec.u64()?;
+    for _ in 0..count {
+        let line = sec.u64()?;
+        let mac = sec.u64()?;
+        if line >= mem.geometry().data_lines() {
+            return Err(RecoveryError::DataLineOutOfRange { line });
+        }
+        mem.restore_mac(line, mac);
+    }
+    expect_exhausted(&sec)?;
+
+    let mut sec = read_section(&mut r, SEC_LEVELS)?;
+    let levels_offset = sec.offset();
+    let n_levels = sec.u32()? as usize;
+    if n_levels != mem.geometry().levels().len() {
+        return Err(RecoveryError::CorruptSnapshot { offset: levels_offset });
+    }
+    for level in 0..n_levels {
+        let count = sec.u64()?;
+        let level_lines = mem.geometry().levels()[level].lines;
+        for _ in 0..count {
+            let line_idx = sec.u64()?;
+            let image = sec.line()?;
+            if line_idx >= level_lines {
+                return Err(RecoveryError::CounterLineOutOfRange { level, line_idx });
+            }
+            mem.restore_counter_line(level, line_idx, &image)
+                .map_err(RecoveryError::MalformedLine)?;
+        }
+    }
+    expect_exhausted(&sec)?;
+    expect_exhausted(&r)?;
+    Ok(mem)
+}
+
+/// Rebuilds a memory from a snapshot plus any prefix of its WAL, then
+/// proves the result: replays every committed transaction and runs
+/// [`SecureMemory::verify_all`] bottom-up before returning.
+///
+/// # Errors
+///
+/// Returns a [`RecoveryError`]: snapshot problems from [`load_memory`],
+/// [`RecoveryError::CorruptWal`] for damaged (not merely torn) log
+/// records, range errors for records outside the geometry, and
+/// [`RecoveryError::Integrity`] when the restored tree fails MAC
+/// verification.
+pub fn recover(snapshot: &[u8], wal_bytes: &[u8]) -> Result<SecureMemory, RecoveryError> {
+    let mut mem = load_memory(snapshot)?;
+    for txn in wal::replay(wal_bytes)? {
+        for record in txn.records {
+            match record {
+                WalRecord::DataLine { line, ciphertext, mac } => {
+                    if line >= mem.geometry().data_lines() {
+                        return Err(RecoveryError::DataLineOutOfRange { line });
+                    }
+                    mem.restore_data_line(line, ciphertext, mac);
+                }
+                WalRecord::CounterLine { level, line_idx, image } => {
+                    let level = level as usize;
+                    let level_lines = mem
+                        .geometry()
+                        .levels()
+                        .get(level)
+                        .map(|l| l.lines)
+                        .unwrap_or(0);
+                    if line_idx >= level_lines {
+                        return Err(RecoveryError::CounterLineOutOfRange { level, line_idx });
+                    }
+                    mem.restore_counter_line(level, line_idx, &image)
+                        .map_err(RecoveryError::MalformedLine)?;
+                }
+                // `wal::replay` consumes transaction boundaries; committed
+                // transactions carry only mutation records.
+                WalRecord::Begin { .. } | WalRecord::Commit { .. } => {
+                    unreachable!("replay strips transaction boundaries")
+                }
+            }
+        }
+    }
+    mem.verify_all().map_err(RecoveryError::Integrity)?;
+    Ok(mem)
+}
+
+/// A [`SecureMemory`] whose writes are journaled to a WAL as committed
+/// transactions, so the pair `(last snapshot, WAL)` always recovers to a
+/// consistent, verifying state — no matter where a crash truncates the
+/// log.
+///
+/// Each [`PersistentMemory::write`] appends one transaction: `Begin`, the
+/// post-images of every data and counter line the write touched (collected
+/// via the memory's mutation journal), then `Commit`. The WAL grows until
+/// [`PersistentMemory::checkpoint`] folds it into a fresh snapshot.
+#[derive(Debug, Clone)]
+pub struct PersistentMemory {
+    inner: SecureMemory,
+    wal: WalWriter,
+    next_seq: u64,
+}
+
+impl PersistentMemory {
+    /// Creates a fresh journaled memory (see [`SecureMemory::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_bytes` is zero or not cacheline-aligned.
+    #[must_use]
+    pub fn new(config: TreeConfig, memory_bytes: u64, key: [u8; 16]) -> Self {
+        PersistentMemory::from_memory(SecureMemory::new(config, memory_bytes, key))
+    }
+
+    /// Wraps an existing memory (e.g. one just restored by [`recover`]).
+    /// The WAL starts empty: the caller is expected to pair it with a
+    /// snapshot of `inner` taken at this point.
+    #[must_use]
+    pub fn from_memory(mut inner: SecureMemory) -> Self {
+        inner.begin_journal();
+        PersistentMemory { inner, wal: WalWriter::new(), next_seq: 1 }
+    }
+
+    /// Writes a plaintext line and logs the mutation as one committed WAL
+    /// transaction.
+    pub fn write(&mut self, data_line: u64, plaintext: &[u8; CACHELINE_BYTES]) {
+        self.inner.write(data_line, plaintext);
+        let journal = self.inner.take_journal();
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::Begin { seq });
+        for line in journal.data_lines {
+            if let Some((ciphertext, mac)) = self.inner.data_line_state(line) {
+                self.wal.append(&WalRecord::DataLine { line, ciphertext, mac });
+            }
+        }
+        for (level, line_idx) in journal.counter_lines {
+            if let Some(image) = self.inner.counter_line_image(level, line_idx) {
+                self.wal.append(&WalRecord::CounterLine {
+                    level: level as u32,
+                    line_idx,
+                    image,
+                });
+            }
+        }
+        self.wal.append(&WalRecord::Commit { seq });
+        self.next_seq += 1;
+    }
+
+    /// Reads and verifies a line (see [`SecureMemory::read`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] when tampering or replay is detected.
+    pub fn read(&self, data_line: u64) -> Result<[u8; CACHELINE_BYTES], IntegrityError> {
+        self.inner.read(data_line)
+    }
+
+    /// The wrapped memory.
+    #[must_use]
+    pub fn memory(&self) -> &SecureMemory {
+        &self.inner
+    }
+
+    /// Unwraps the memory, discarding the log.
+    #[must_use]
+    pub fn into_memory(self) -> SecureMemory {
+        self.inner
+    }
+
+    /// The WAL bytes accumulated since the last checkpoint.
+    #[must_use]
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.bytes()
+    }
+
+    /// Serializes the current state as a fresh snapshot and clears the WAL
+    /// (its transactions are now folded into the snapshot).
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        let snapshot = save_memory(&self.inner);
+        self.wal.clear();
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+    const KEY: [u8; 16] = [3u8; 16];
+
+    fn populated(config: TreeConfig) -> SecureMemory {
+        let mut mem = SecureMemory::new(config, MIB, KEY);
+        for i in 0..40u64 {
+            mem.write(i * 7 % 128, &[i as u8; CACHELINE_BYTES]);
+        }
+        mem
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_is_deterministic() {
+        for config in [TreeConfig::sc64(), TreeConfig::vault(), TreeConfig::morphtree()] {
+            let mem = populated(config.clone());
+            let snap = save_memory(&mem);
+            let restored = load_memory(&snap).unwrap();
+            assert_eq!(restored.config().name(), config.name());
+            assert_eq!(restored.reencryptions(), mem.reencryptions());
+            restored.verify_all().unwrap();
+            for i in 0..128u64 {
+                assert_eq!(restored.read(i).unwrap(), mem.read(i).unwrap(), "line {i}");
+            }
+            // Serialization is a pure function of state.
+            assert_eq!(save_memory(&restored), snap, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn recover_with_empty_wal_verifies_the_snapshot() {
+        let mem = populated(TreeConfig::morphtree());
+        let snap = save_memory(&mem);
+        let recovered = recover(&snap, &[]).unwrap();
+        assert_eq!(save_memory(&recovered), snap);
+    }
+
+    #[test]
+    fn every_wal_prefix_recovers_to_the_committed_write_count() {
+        let base = populated(TreeConfig::morphtree());
+        let snapshot = save_memory(&base);
+
+        // Journaled writer on one clone; a tracking clone captures the
+        // expected state after each committed write.
+        let mut writer = PersistentMemory::from_memory(base.clone());
+        let mut tracker = base;
+        let mut states = vec![save_memory(writer.memory())];
+        for i in 0..12u64 {
+            let body = [0x80 | i as u8; CACHELINE_BYTES];
+            writer.write(i * 11 % 128, &body);
+            tracker.write(i * 11 % 128, &body);
+            states.push(save_memory(&tracker));
+        }
+        assert_eq!(states.last().unwrap(), &save_memory(writer.memory()));
+
+        let wal = writer.wal_bytes();
+        for cut in 0..=wal.len() {
+            let prefix = &wal[..cut];
+            let committed = replay(prefix).unwrap().len();
+            let recovered = recover(&snapshot, prefix)
+                .unwrap_or_else(|e| panic!("cut {cut} must recover: {e}"));
+            assert_eq!(
+                save_memory(&recovered),
+                states[committed],
+                "cut {cut}: recovered state is not the {committed}-write state"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_folds_the_wal() {
+        let mut writer = PersistentMemory::new(TreeConfig::sc64(), MIB, KEY);
+        writer.write(5, &[1; CACHELINE_BYTES]);
+        assert!(!writer.wal_bytes().is_empty());
+        let snap = writer.checkpoint();
+        assert!(writer.wal_bytes().is_empty());
+        let recovered = recover(&snap, writer.wal_bytes()).unwrap();
+        assert_eq!(recovered.read(5).unwrap(), [1; CACHELINE_BYTES]);
+    }
+
+    #[test]
+    fn snapshot_header_errors_are_typed() {
+        let mem = populated(TreeConfig::sc64());
+        let snap = save_memory(&mem);
+
+        assert_eq!(load_memory(b"nope").unwrap_err(), RecoveryError::BadMagic);
+        assert_eq!(load_memory(&[]).unwrap_err(), RecoveryError::BadMagic);
+
+        let mut wrong_version = snap.clone();
+        wrong_version[4] = 9;
+        assert_eq!(
+            load_memory(&wrong_version).unwrap_err(),
+            RecoveryError::UnsupportedVersion { version: 9 }
+        );
+
+        // Flip a byte inside the CONFIG payload: its checksum catches it.
+        let mut corrupt = snap.clone();
+        corrupt[8 + 12 + 2] ^= 0xff;
+        assert_eq!(
+            load_memory(&corrupt).unwrap_err(),
+            RecoveryError::ChecksumMismatch { section: SEC_CONFIG }
+        );
+
+        // Truncation anywhere is typed, never a panic.
+        for cut in 0..snap.len() {
+            let err = load_memory(&snap[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RecoveryError::BadMagic
+                        | RecoveryError::Truncated { .. }
+                        | RecoveryError::CorruptSnapshot { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_snapshot_state_fails_verification() {
+        // Re-point a ciphertext inside the DATA section while fixing up the
+        // section checksum: structurally valid, semantically inconsistent.
+        let mut mem = populated(TreeConfig::sc64());
+        mem.tamper_raw(0, 0, 0xff).unwrap();
+        let snap = save_memory(&mem);
+        // load_memory restores it verbatim...
+        load_memory(&snap).unwrap();
+        // ...but recover() refuses to hand it over.
+        assert!(matches!(
+            recover(&snap, &[]).unwrap_err(),
+            RecoveryError::Integrity(IntegrityError::DataMac { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_memory_is_corruption_not_oom() {
+        let mem = SecureMemory::new(TreeConfig::sc64(), MIB, KEY);
+        let snap = save_memory(&mem);
+        // STATE is the second section; its payload starts after the CONFIG
+        // section. Find it by parsing the real layout.
+        let mut r = ByteReader::new(&snap);
+        r.bytes(8).unwrap(); // magic + version
+        let _ = read_section(&mut r, SEC_CONFIG).unwrap();
+        let state_payload_at = r.offset() + 4 + 8;
+        let mut huge = snap.clone();
+        huge[state_payload_at..state_payload_at + 8]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        // Fix the section checksum so only the size check can reject it.
+        let state_len = 8 + 16 + 8;
+        let crc = fnv1a(&huge[state_payload_at..state_payload_at + state_len]);
+        huge[state_payload_at + state_len..state_payload_at + state_len + 8]
+            .copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            load_memory(&huge).unwrap_err(),
+            RecoveryError::CorruptSnapshot { .. }
+        ));
+    }
+}

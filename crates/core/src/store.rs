@@ -149,6 +149,34 @@ impl<T> PagedStore<T> {
         let (page, slot) = Self::split(idx);
         self.page_mut(page)[slot].get_or_insert_with(make)
     }
+
+    /// Iterates the present entries as `(index, &value)` pairs, in index
+    /// order. Index order makes serialized snapshots deterministic: two
+    /// stores with the same contents serialize byte-identically regardless
+    /// of insertion history.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(page, slots)| {
+            slots.iter().flat_map(move |slots| {
+                slots.iter().enumerate().filter_map(move |(slot, value)| {
+                    value
+                        .as_ref()
+                        .map(|v| ((page * PAGE_LINES + slot) as u64, v))
+                })
+            })
+        })
+    }
+
+    /// Number of present entries (walks allocated pages).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.iter().count() as u64
+    }
+
+    /// Whether no entries are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +245,20 @@ mod tests {
         let store: PagedStore<u8> = PagedStore::new(0);
         assert_eq!(store.get(0), None);
         assert_eq!(store.capacity(), 0);
+    }
+
+    #[test]
+    fn iter_yields_index_order_regardless_of_insertion_order() {
+        let mut store = PagedStore::new(10 * PAGE_LINES as u64);
+        let indices = [5 * PAGE_LINES as u64 + 7, 0, PAGE_LINES as u64, 3];
+        for idx in indices {
+            store.insert(idx, idx);
+        }
+        let seen: Vec<u64> = store.iter().map(|(idx, _)| idx).collect();
+        assert_eq!(seen, vec![0, 3, PAGE_LINES as u64, 5 * PAGE_LINES as u64 + 7]);
+        assert_eq!(store.len(), 4);
+        assert!(!store.is_empty());
+        assert!(PagedStore::<u8>::new(100).is_empty());
     }
 
     #[test]

@@ -121,6 +121,15 @@ impl TreeConfig {
         self.org(level).arity()
     }
 
+    /// The configured tree-level organizations (levels 1, 2, …; the last
+    /// entry repeats for all higher levels). Together with `org(0)` this is
+    /// the complete counter configuration, which is what the persistence
+    /// layer serializes.
+    #[must_use]
+    pub fn tree_orgs(&self) -> &[CounterOrg] {
+        &self.tree_orgs
+    }
+
     /// All five configurations the paper's evaluation compares, in the
     /// order of Table III.
     #[must_use]

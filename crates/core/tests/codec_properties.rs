@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use morphtree_core::counters::bits::set_bits;
 use morphtree_core::counters::morph::{MorphFormat, MorphLine, MorphMode};
 use morphtree_core::counters::CounterLine;
+use morphtree_core::CodecError;
 
 fn any_mode() -> impl Strategy<Value = MorphMode> {
     prop_oneof![
@@ -17,16 +18,6 @@ fn any_mode() -> impl Strategy<Value = MorphMode> {
         Just(MorphMode::ZccRebase),
         Just(MorphMode::SingleBase),
     ]
-}
-
-/// Runs `f` with panics silenced (the rejection properties drive `decode`
-/// into its intentional panics many times per test).
-fn catches_panic<F: FnOnce() -> MorphLine + std::panic::UnwindSafe>(f: F) -> bool {
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let result = std::panic::catch_unwind(f);
-    std::panic::set_hook(prev);
-    result.is_err()
 }
 
 proptest! {
@@ -48,7 +39,7 @@ proptest! {
         }
         line.set_mac(mac);
         let image = line.encode();
-        let decoded = MorphLine::decode(line.mode(), &image);
+        let decoded = MorphLine::decode(line.mode(), &image).unwrap();
         prop_assert_eq!(&decoded, &line);
         prop_assert_eq!(decoded.encode(), image, "re-encode must be stable");
     }
@@ -71,7 +62,7 @@ proptest! {
         }
         prop_assume!(line.format() == MorphFormat::Zcc);
         line.set_mac(mac);
-        let decoded = MorphLine::decode(line.mode(), &line.encode());
+        let decoded = MorphLine::decode(line.mode(), &line.encode()).unwrap();
         prop_assert_eq!(decoded, line);
     }
 
@@ -93,7 +84,7 @@ proptest! {
         }
         prop_assume!(line.format() == MorphFormat::Mcr);
         line.set_mac(mac);
-        let decoded = MorphLine::decode(line.mode(), &line.encode());
+        let decoded = MorphLine::decode(line.mode(), &line.encode()).unwrap();
         prop_assert_eq!(decoded, line);
     }
 
@@ -113,7 +104,7 @@ proptest! {
         }
         prop_assume!(line.format() == MorphFormat::Uniform);
         line.set_mac(mac);
-        let decoded = MorphLine::decode(line.mode(), &line.encode());
+        let decoded = MorphLine::decode(line.mode(), &line.encode()).unwrap();
         prop_assert_eq!(decoded, line);
     }
 }
@@ -122,7 +113,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// A ZCC image whose stored ctr-sz disagrees with its bit-vector
-    /// population is rejected (panics), whatever bogus value is stored.
+    /// population is rejected with a typed error, whatever bogus value is
+    /// stored.
     #[test]
     fn decode_rejects_corrupted_ctr_sz(
         wrong in 0u64..64,
@@ -139,9 +131,10 @@ proptest! {
         // not a malformed one.
         prop_assume!(wrong != actual && wrong != 3);
         set_bits(&mut image, 1, 6, wrong);
-        prop_assert!(
-            catches_panic(move || MorphLine::decode(MorphMode::ZccRebase, &image)),
-            "ctr-sz {wrong} accepted against population {actual}"
+        prop_assert_eq!(
+            MorphLine::decode(MorphMode::ZccRebase, &image),
+            Err(CodecError::CtrSizeMismatch { stored: wrong, derived: actual }),
+            "ctr-sz {} accepted against population {}", wrong, actual
         );
     }
 
@@ -155,9 +148,10 @@ proptest! {
         for slot in 0..population {
             set_bits(&mut image, 64 + slot, 1, 1);
         }
-        prop_assert!(
-            catches_panic(move || MorphLine::decode(MorphMode::ZccRebase, &image)),
-            "bit-vector population {population} accepted"
+        prop_assert_eq!(
+            MorphLine::decode(MorphMode::ZccRebase, &image),
+            Err(CodecError::TooManyNonZero { nonzero: population }),
+            "bit-vector population {} accepted", population
         );
     }
 }

@@ -1,0 +1,137 @@
+//! Round-trip property for the obs JSON emitter/parser: for any value tree
+//! the metrics layer can produce, emit → parse → emit is byte-identical.
+//!
+//! Byte-*idempotence* (not value equality) is the contract the sweep
+//! determinism suite and the golden fixtures rely on, and it is the
+//! strongest property that holds: non-finite floats intentionally emit as
+//! `null` (parsing back as `Value::Null`), and an integral float ≥ 1e15
+//! prints without a decimal point (parsing back as `Value::UInt`) — in both
+//! cases the second emission must reproduce the first byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use morphtree_core::obs::{parse_json, JsonValue};
+
+/// Deterministic JSON-tree generator. The vendored proptest shim has no
+/// recursive or mapped strategies, so trees are grown from a sampled seed
+/// with a SplitMix64 stream.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn value(&mut self, depth: usize) -> JsonValue {
+        let leaf_kinds = 5;
+        let kinds = if depth == 0 { leaf_kinds } else { leaf_kinds + 2 };
+        match self.next() % kinds {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(self.next().is_multiple_of(2)),
+            2 => JsonValue::UInt(self.next()),
+            3 => JsonValue::Float(self.float()),
+            4 => JsonValue::Str(self.string()),
+            5 => {
+                let n = (self.next() % 4) as usize;
+                JsonValue::Array((0..n).map(|_| self.value(depth - 1)).collect())
+            }
+            _ => {
+                let n = (self.next() % 4) as usize;
+                let mut map = BTreeMap::new();
+                for _ in 0..n {
+                    let key = self.string();
+                    let value = self.value(depth - 1);
+                    map.insert(key, value);
+                }
+                JsonValue::Object(map)
+            }
+        }
+    }
+
+    /// Floats weighted toward the writer's special cases: null gauges
+    /// (non-finite), signed zero, the integral `{f:.1}` path on both sides
+    /// of the 1e15 threshold, and arbitrary bit patterns.
+    fn float(&mut self) -> f64 {
+        match self.next() % 8 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            4 => (self.next() % 1_000_000) as f64,
+            5 => 1e15 + (self.next() % 1_000) as f64,
+            6 => -((self.next() % 1_000_000) as f64) / 8.0,
+            _ => f64::from_bits(self.next()),
+        }
+    }
+
+    /// Strings mixing plain ASCII with every escape class the writer
+    /// handles: quotes, backslashes, named escapes, control `\u` escapes,
+    /// and multi-byte UTF-8.
+    fn string(&mut self) -> String {
+        let n = (self.next() % 8) as usize;
+        (0..n)
+            .map(|_| match self.next() % 8 {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\t',
+                4 => '\u{1}',
+                5 => 'é',
+                6 => '日',
+                _ => char::from(b'a' + (self.next() % 26) as u8),
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// emit → parse → emit is byte-identical, and a second round trip is a
+    /// fixed point (parse(emit2) emits emit2 again).
+    #[test]
+    fn emit_parse_emit_is_byte_identical(seed in any::<u64>(), depth in 0usize..4) {
+        let value = Gen(seed).value(depth);
+        let first = value.to_pretty_string();
+        let reparsed = parse_json(&first).expect("writer output must parse");
+        let second = reparsed.to_pretty_string();
+        prop_assert_eq!(&first, &second, "emit→parse→emit diverged");
+        let third = parse_json(&second).expect("second emission must parse");
+        prop_assert_eq!(third.to_pretty_string(), second, "round trip is not a fixed point");
+    }
+}
+
+/// The documented lossy-but-idempotent corners, pinned explicitly so a
+/// regression names the exact case rather than a random seed.
+#[test]
+fn lossy_corners_are_idempotent() {
+    let cases = [
+        ("nan gauge", JsonValue::Float(f64::NAN)),
+        ("infinite rate", JsonValue::Float(f64::INFINITY)),
+        ("negative zero", JsonValue::Float(-0.0)),
+        ("integral above 1e15", JsonValue::Float(1.0e16)),
+        ("null gauge in object", {
+            let mut map = BTreeMap::new();
+            map.insert("p99".to_string(), JsonValue::Null);
+            map.insert("mean".to_string(), JsonValue::Float(f64::NEG_INFINITY));
+            JsonValue::Object(map)
+        }),
+    ];
+    for (label, value) in cases {
+        let first = value.to_pretty_string();
+        let reparsed = parse_json(&first).unwrap();
+        assert_eq!(reparsed.to_pretty_string(), first, "{label}");
+    }
+    // And the two intentional type conversions, stated outright.
+    assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+    assert_eq!(
+        parse_json(&JsonValue::Float(1.0e16).to_pretty_string()).unwrap(),
+        JsonValue::UInt(10_000_000_000_000_000)
+    );
+}

@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod driver;
 pub mod figures;
 pub mod report;
 pub mod runner;
 
+pub use checkpoint::CheckpointError;
 pub use driver::SweepOutcome;
 pub use runner::{Lab, RunFailure, Setup, Sweep, UnknownWorkload};

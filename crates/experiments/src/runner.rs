@@ -859,6 +859,19 @@ impl Lab {
     pub fn engine_results(&self) -> &HashMap<EngineKey, EngineStats> {
         &self.engine_runs
     }
+
+    /// Seeds the memo with a previously computed full-system result, as
+    /// when resuming from a [`crate::checkpoint`] file. Subsequent
+    /// requests for `key` are served from the memo without simulating.
+    pub fn import_sim(&mut self, key: RunKey, result: SimResult) {
+        self.runs.insert(key, result);
+    }
+
+    /// Seeds the memo with a previously computed engine study (the
+    /// engine-only counterpart of [`Lab::import_sim`]).
+    pub fn import_engine(&mut self, key: EngineKey, stats: EngineStats) {
+        self.engine_runs.insert(key, stats);
+    }
 }
 
 #[cfg(test)]

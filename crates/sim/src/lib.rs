@@ -15,7 +15,9 @@
 //! - a discrete-event FR-FCFS memory controller with write-drain
 //!   watermarks, USIMM's actual scheduling model — [`controller`];
 //! - a last-level-cache filter turning raw access traces into the post-LLC
-//!   streams the simulator consumes — [`llc`].
+//!   streams the simulator consumes — [`llc`];
+//! - a checksummed checkpoint codec for simulation results, so
+//!   interrupted sweeps resume without re-simulating — [`persist`].
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod dram;
 pub mod energy;
 pub mod error;
 pub mod llc;
+pub mod persist;
 pub mod system;
 
 pub use error::SimError;

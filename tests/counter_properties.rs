@@ -93,7 +93,7 @@ proptest! {
             line.increment(slot);
         }
         line.set_mac(mac);
-        let decoded = MorphLine::decode(mode, &line.encode());
+        let decoded = MorphLine::decode(mode, &line.encode()).unwrap();
         prop_assert_eq!(&decoded, &line);
         // And the decoded line behaves identically.
         let mut a = line.clone();
