@@ -39,6 +39,7 @@
 
 pub mod metrics;
 pub mod perf;
+pub mod serve;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -177,6 +178,9 @@ pub fn usage() -> String {
      \x20 snapshot  --out FILE | --verify FILE [--config morph]\n\
      \x20           [--memory-kib 1024] [--lines 64] [--seed 42]\n\
      \x20 perf      [--out BENCH.json] [--quick 1] [--metrics FILE]\n\
+     \x20 serve     [--threads 1] [--shards 0=threads] [--ops 100000] [--batch 8192]\n\
+     \x20           [--memory-mib 256] [--hot-lines 8192] [--write-pct 80]\n\
+     \x20           [--config morph] [--seed 42] [--verify 0] [--metrics FILE]\n\
      \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
      \x20           [--memory-kib 1024] [--lines 96] [--metrics FILE]\n\
      \x20 stats     FILE (a --metrics JSON dump)\n\
@@ -208,6 +212,7 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "perf" => perf::cmd_perf(&flags),
+        "serve" => serve::cmd_serve(&flags),
         "attack" => cmd_attack(&flags),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),

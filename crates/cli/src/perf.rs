@@ -21,11 +21,13 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use morphtree_bench::SplitMix64;
+use morphtree_core::concurrent::{Op, ShardedMemory};
 use morphtree_core::counters::morph::{MorphLine, MorphMode};
 use morphtree_core::counters::split::{SplitConfig, SplitLine};
 use morphtree_core::counters::CounterLine;
 use morphtree_core::metadata::{MacMode, MetadataEngine, ReferenceEngine};
 use morphtree_core::tree::TreeConfig;
+use morphtree_core::CACHELINE_BYTES;
 use morphtree_crypto::otp::CtrModeCipher;
 
 use crate::{err, CliError, Flags};
@@ -47,6 +49,14 @@ const HOT_READ_LINES: u64 = (8 << 20) / 64;
 const FOOTPRINT_LINES: u64 = (64 << 20) / 64;
 /// Hot-set size for the write benchmarks.
 const HOT_LINES: u64 = 4096;
+
+/// Worker counts for the serve-mode scaling curve (shards = threads).
+const SERVE_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Requests per `run_batch` call in the serve scaling benchmark — large
+/// enough to amortize per-batch queue routing and thread-scope setup.
+const SERVE_BATCH: usize = 8192;
+/// Total hot lines across all shards (matches the `serve` default).
+const SERVE_HOT_LINES: u64 = 8192;
 
 /// One benchmark's result.
 struct Bench {
@@ -226,7 +236,23 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         .expect("write to string");
     }
 
-    // 4. One full figure sweep, end to end.
+    // 4. Serve-mode scaling: the sharded concurrent engine at 1/2/4/8
+    //    worker threads (one subtree shard per worker) over the full
+    //    256 MiB functional plane. On a single-core host the curve still
+    //    rises because sharding shallows each subtree — fewer MAC/OTP
+    //    levels per write — independent of hardware parallelism.
+    let serve_points = run_serve_scaling(window);
+    for (threads, ops_per_sec) in &serve_points {
+        writeln!(
+            progress,
+            "{:<28} {:>10} ns/op {ops_per_sec:>14.0} ops/s",
+            format!("serve_{threads}t"),
+            number(1e9 / ops_per_sec),
+        )
+        .expect("write to string");
+    }
+
+    // 5. One full figure sweep, end to end.
     let sweep_ms = run_sweep(quick)?;
     writeln!(progress, "{:<28} {sweep_ms:>10} ms wall-clock", "sweep_fig07").expect("write");
 
@@ -268,6 +294,24 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         writeln!(json, "    \"{name}\": {}{comma}", number(*value)).expect("write to string");
     }
     json.push_str("  },\n");
+    json.push_str("  \"serve\": {\n");
+    json.push_str("    \"config\": \"morphtree\",\n");
+    writeln!(json, "    \"memory_mib\": {},", MEMORY >> 20).expect("write");
+    json.push_str("    \"shards\": \"one per thread\",\n");
+    json.push_str("    \"points\": [\n");
+    for (i, (threads, ops_per_sec)) in serve_points.iter().enumerate() {
+        let comma = if i + 1 == serve_points.len() { "" } else { "," };
+        writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"ops_per_sec\": {}}}{comma}",
+            number(*ops_per_sec),
+        )
+        .expect("write to string");
+    }
+    json.push_str("    ],\n");
+    writeln!(json, "    \"scaling_8v1\": {}", number(serve_scaling_8v1(&serve_points)))
+        .expect("write");
+    json.push_str("  },\n");
     writeln!(json, "  \"sweep\": {{\"figure\": \"fig07\", \"wall_ms\": {sweep_ms}}}").expect("write");
     json.push_str("}\n");
 
@@ -286,6 +330,10 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         for (name, value) in &speedups {
             registry.gauge_set(&format!("perf.speedup.{name}"), Some(*value));
         }
+        for (threads, ops_per_sec) in &serve_points {
+            registry.gauge_set(&format!("perf.serve_{threads}t.ops_per_sec"), Some(*ops_per_sec));
+        }
+        registry.gauge_set("perf.serve.scaling_8v1", Some(serve_scaling_8v1(&serve_points)));
         registry.counter_set("perf.sweep_fig07.wall_ms", sweep_ms);
         crate::metrics::write_metrics(path, &registry)?;
         writeln!(summary, "metrics written to {path}").expect("write to string");
@@ -294,8 +342,84 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
     for (name, value) in speedups {
         writeln!(summary, "  {name:<14} {:>6}x", number(value)).expect("write to string");
     }
+    writeln!(
+        summary,
+        "\nserve scaling (8 threads vs 1): {}x",
+        number(serve_scaling_8v1(&serve_points))
+    )
+    .expect("write to string");
     writeln!(summary, "\nreport written to {out_path}").expect("write to string");
     Ok(summary)
+}
+
+/// Builds the serve benchmark's request batch: 80% writes over per-shard
+/// hot ranges (equal share per shard, [`SERVE_HOT_LINES`] total), the
+/// same shape `morphtree serve` drives by default.
+fn serve_batch(rng: &mut SplitMix64, memory: &ShardedMemory) -> Vec<Op> {
+    let plan = memory.plan();
+    let shards = plan.shards() as u64;
+    let per_shard_hot = (SERVE_HOT_LINES / shards).max(1);
+    (0..SERVE_BATCH)
+        .map(|_| {
+            let shard = (rng.next_u64() % shards) as usize;
+            let line = plan.shard_base(shard) + rng.next_u64() % per_shard_hot;
+            if rng.next_u64() % 100 < 80 {
+                let mut data = [0u8; CACHELINE_BYTES];
+                data[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                Op::Write { line, data }
+            } else {
+                Op::Read { line }
+            }
+        })
+        .collect()
+}
+
+/// Measures serve-mode throughput for each worker count in
+/// [`SERVE_THREADS`] (shards = threads) and returns `(threads, ops/sec)`
+/// points, best-of-[`PASSES`] sub-windows like every other benchmark.
+fn run_serve_scaling(window: Duration) -> Vec<(usize, f64)> {
+    SERVE_THREADS
+        .iter()
+        .map(|&threads| {
+            let mut memory =
+                ShardedMemory::new(TreeConfig::morphtree(), MEMORY, [0x42u8; 16], threads)
+                    .expect("256 MiB shards cleanly at any benchmarked thread count");
+            let mut rng = SplitMix64::new(7);
+            let ops = serve_batch(&mut rng, &memory);
+            let warm_up_end = Instant::now() + window / 4;
+            while Instant::now() < warm_up_end {
+                memory.run_batch(&ops, threads);
+            }
+            let sub_window = window / PASSES;
+            let mut best = 0.0f64;
+            for _ in 0..PASSES {
+                let mut count = 0u64;
+                let started = Instant::now();
+                loop {
+                    memory.run_batch(&ops, threads);
+                    count += ops.len() as u64;
+                    if started.elapsed() >= sub_window {
+                        break;
+                    }
+                }
+                best = best.max(count as f64 / started.elapsed().as_secs_f64());
+            }
+            (threads, best)
+        })
+        .collect()
+}
+
+/// The headline scaling ratio: 8-thread throughput over 1-thread.
+fn serve_scaling_8v1(points: &[(usize, f64)]) -> f64 {
+    let at = |threads: usize| {
+        points.iter().find(|(t, _)| *t == threads).map_or(0.0, |(_, ops)| *ops)
+    };
+    let one = at(1);
+    if one > 0.0 {
+        at(8) / one
+    } else {
+        0.0
+    }
 }
 
 /// Runs the `fig07` sweep once and returns its wall-clock milliseconds.
@@ -343,5 +467,19 @@ mod tests {
     fn number_formats_finite_and_guards_nonfinite() {
         assert_eq!(number(1.5), "1.500");
         assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn serve_scaling_covers_every_thread_count() {
+        let points = run_serve_scaling(Duration::from_millis(8));
+        assert_eq!(points.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![1, 2, 4, 8]);
+        assert!(points.iter().all(|(_, ops)| *ops > 0.0), "{points:?}");
+    }
+
+    #[test]
+    fn serve_scaling_ratio_is_8_over_1() {
+        let points = vec![(1, 100.0), (2, 110.0), (4, 115.0), (8, 120.0)];
+        assert!((serve_scaling_8v1(&points) - 1.2).abs() < 1e-9);
+        assert_eq!(serve_scaling_8v1(&[]), 0.0);
     }
 }

@@ -35,6 +35,7 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
+use crate::concurrent::SplitMix64;
 use crate::error::{IntegrityError, TamperError};
 use crate::functional::SecureMemory;
 use crate::persist::{self, PersistentMemory, RecoveryError};
@@ -564,32 +565,6 @@ fn mount(
     };
     let observed = m.read(victim_line).err();
     Ok(AttackOutcome { class, level, expected, observed })
-}
-
-/// SplitMix64: tiny, seedable, statistically solid — the core crate takes
-/// no RNG dependency for this.
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform-ish draw in `0..n` (`n > 0`); modulo bias is irrelevant at
-    /// campaign scales.
-    fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,45 @@ impl fmt::Display for TamperError {
 
 impl Error for TamperError {}
 
+/// Raised by [`crate::concurrent::ShardPlan`] when a requested shard
+/// partition is impossible. Planning failures are configuration errors the
+/// caller must handle (a CLI flag, a recovered snapshot header), so they are
+/// typed rather than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// Zero shards requested — a partition must have at least one part.
+    ZeroShards,
+    /// The protected space is empty or not a whole number of cachelines.
+    UnalignedMemory {
+        /// The rejected byte count.
+        memory_bytes: u64,
+    },
+    /// More shards than data lines: some shard would own no address range
+    /// (and therefore no subtree).
+    TooManyShards {
+        /// The requested shard count.
+        shards: usize,
+        /// Data lines available to partition.
+        data_lines: u64,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "shard plan requires at least one shard"),
+            ShardError::UnalignedMemory { memory_bytes } => {
+                write!(f, "protected size {memory_bytes} is not a whole number of cachelines")
+            }
+            ShardError::TooManyShards { shards, data_lines } => {
+                write!(f, "{shards} shards over {data_lines} data lines leaves a shard empty")
+            }
+        }
+    }
+}
+
+impl Error for ShardError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +231,16 @@ mod tests {
         assert!(e.to_string().contains("64"), "{e}");
         let e = TamperError::SlotOutOfRange { slot: 130, arity: 128 };
         assert!(e.to_string().contains("130"), "{e}");
+    }
+
+    #[test]
+    fn shard_errors_display() {
+        assert_eq!(ShardError::ZeroShards.to_string(), "shard plan requires at least one shard");
+        let e = ShardError::UnalignedMemory { memory_bytes: 100 };
+        assert!(e.to_string().contains("100"), "{e}");
+        let e = ShardError::TooManyShards { shards: 9, data_lines: 4 };
+        assert!(e.to_string().contains("9 shards"), "{e}");
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardError>();
     }
 }

@@ -215,6 +215,26 @@ impl SecureMemory {
         self.reencryptions
     }
 
+    /// A 64-bit digest of the tree's root state: the encoded top-level
+    /// counter line plus its MAC, hashed with FNV-1a. Two memories with the
+    /// same history have the same digest; any write changes it (the bump
+    /// chain always reaches the top level). The sharded engine
+    /// ([`crate::concurrent::ShardedMemory`]) folds these per-shard digests
+    /// into its combined root MAC.
+    #[must_use]
+    pub fn root_digest(&self) -> u64 {
+        let top = self.geometry.top_level();
+        match self.levels[top].get(0) {
+            None => crate::persist::codec::fnv1a(&[]),
+            Some(line) => {
+                let mut image = [0u8; CACHELINE_BYTES + 8];
+                image[..CACHELINE_BYTES].copy_from_slice(&line.encode_for_mac());
+                image[CACHELINE_BYTES..].copy_from_slice(&line.mac().to_le_bytes());
+                crate::persist::codec::fnv1a(&image)
+            }
+        }
+    }
+
     /// Effective encryption counter for `data_line`.
     #[must_use]
     pub fn counter_of(&self, data_line: u64) -> u64 {

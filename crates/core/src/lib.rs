@@ -26,6 +26,10 @@
 //! - [`store`] — the lazily-allocated paged flat stores backing the
 //!   engine's and functional memory's per-level line maps (O(1) unhashed
 //!   access over geometry-bounded index spaces).
+//! - [`concurrent`] — the sharded multi-tenant engine: contiguous address
+//!   ranges each owning an independent subtree under a small shared top
+//!   root, with per-shard request queues drained by worker threads and a
+//!   deterministic seeded-interleaving harness.
 //! - [`obs`] — the observability plane: a deterministic metrics registry
 //!   (counters/gauges + log2-bucket latency histograms) and a span
 //!   timeline tracer, exported as sorted-key JSON by `--metrics`.
@@ -53,6 +57,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attack;
+pub mod concurrent;
 pub mod counters;
 pub mod error;
 pub mod functional;

@@ -47,9 +47,10 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::concurrent::{ShardPlan, ShardedMemory};
 use crate::counters::morph::MorphMode;
 use crate::counters::{CounterLine, CounterOrg};
-use crate::error::{CodecError, IntegrityError};
+use crate::error::{CodecError, IntegrityError, ShardError};
 use crate::functional::SecureMemory;
 use crate::tree::TreeConfig;
 use crate::CACHELINE_BYTES;
@@ -63,6 +64,9 @@ pub use wal::{replay, WalRecord, WalTransaction, WalWriter};
 
 /// Snapshot file magic (`MTSN` = MorphTree SNapshot).
 pub const MAGIC: [u8; 4] = *b"MTSN";
+/// Sharded-snapshot container magic (`MTSH` = MorphTree SHards): a header
+/// plus one embedded [`MAGIC`] snapshot per shard.
+pub const MAGIC_SHARDED: [u8; 4] = *b"MTSH";
 /// Current snapshot format version.
 pub const VERSION: u32 = 1;
 
@@ -76,6 +80,8 @@ pub(crate) const SEC_STATE: u32 = 2;
 pub(crate) const SEC_DATA: u32 = 3;
 pub(crate) const SEC_MACS: u32 = 4;
 pub(crate) const SEC_LEVELS: u32 = 5;
+pub(crate) const SEC_SHARD_HEADER: u32 = 16;
+pub(crate) const SEC_SHARD: u32 = 17;
 
 /// Why a snapshot or WAL could not be restored.
 ///
@@ -136,6 +142,16 @@ pub enum RecoveryError {
     /// and WAL were individually well-formed but do not describe a state
     /// the write path could have produced.
     Integrity(IntegrityError),
+    /// A sharded container's header declares an impossible partition.
+    ShardPlan(ShardError),
+    /// A per-shard snapshot inside a sharded container disagrees with the
+    /// header's partition: wrong geometry for its range, or a key that is
+    /// not the one derived from the header's tenant key. Recovery refuses
+    /// to blend shards from different tenants or layouts.
+    ShardMismatch {
+        /// Index of the offending shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -169,6 +185,12 @@ impl fmt::Display for RecoveryError {
             RecoveryError::Integrity(err) => {
                 write!(f, "restored state failed verification: {err}")
             }
+            RecoveryError::ShardPlan(err) => {
+                write!(f, "sharded snapshot header is unusable: {err}")
+            }
+            RecoveryError::ShardMismatch { shard } => {
+                write!(f, "shard {shard} snapshot disagrees with the sharded header")
+            }
         }
     }
 }
@@ -178,6 +200,7 @@ impl Error for RecoveryError {
         match self {
             RecoveryError::MalformedLine(err) => Some(err),
             RecoveryError::Integrity(err) => Some(err),
+            RecoveryError::ShardPlan(err) => Some(err),
             _ => None,
         }
     }
@@ -484,6 +507,86 @@ pub fn recover(snapshot: &[u8], wal_bytes: &[u8]) -> Result<SecureMemory, Recove
     Ok(mem)
 }
 
+/// Serializes a sharded memory as an `MTSH` container: a checksummed
+/// header (partition geometry + tenant key) followed by one full
+/// [`save_memory`] snapshot per shard.
+///
+/// Like [`save_memory`], the output is a pure function of state: equal
+/// sharded memories serialize byte-identically.
+#[must_use]
+pub fn save_sharded(memory: &ShardedMemory) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_SHARDED);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+
+    let plan = memory.plan();
+    let mut w = ByteWriter::new();
+    w.u64(plan.memory_bytes());
+    w.u32(plan.shards() as u32);
+    w.bytes(&memory.tenant_key());
+    write_section(&mut out, SEC_SHARD_HEADER, &w.into_bytes());
+
+    for shard in 0..plan.shards() {
+        write_section(&mut out, SEC_SHARD, &save_memory(memory.shard(shard)));
+    }
+    out
+}
+
+/// Rebuilds a sharded memory from a [`save_sharded`] container, verifying
+/// every shard subtree bottom-up and cross-checking each shard against the
+/// header's partition before recombining the top root.
+///
+/// # Errors
+///
+/// Returns a [`RecoveryError`]: container framing problems
+/// ([`RecoveryError::BadMagic`], truncation, checksums),
+/// [`RecoveryError::ShardPlan`] for an impossible header,
+/// per-shard snapshot errors from [`load_memory`],
+/// [`RecoveryError::ShardMismatch`] when a shard's geometry or derived key
+/// disagrees with the header (a blend of different tenants or layouts),
+/// and [`RecoveryError::Integrity`] when a restored shard fails MAC
+/// verification. Never panics, never returns a partially-blended state.
+pub fn recover_sharded(bytes: &[u8]) -> Result<ShardedMemory, RecoveryError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4).map_err(|_| RecoveryError::BadMagic)? != MAGIC_SHARDED {
+        return Err(RecoveryError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(RecoveryError::UnsupportedVersion { version });
+    }
+
+    let mut sec = read_section(&mut r, SEC_SHARD_HEADER)?;
+    let header_offset = sec.offset();
+    let memory_bytes = sec.u64()?;
+    let shard_count = sec.u32()? as usize;
+    let key: [u8; 16] = sec
+        .bytes(16)?
+        .try_into()
+        .map_err(|_| RecoveryError::CorruptSnapshot { offset: header_offset })?;
+    expect_exhausted(&sec)?;
+    if memory_bytes > MAX_MEMORY_BYTES {
+        return Err(RecoveryError::CorruptSnapshot { offset: header_offset });
+    }
+    let plan = ShardPlan::new(memory_bytes, shard_count).map_err(RecoveryError::ShardPlan)?;
+
+    let mut shards = Vec::with_capacity(plan.shards());
+    for shard in 0..plan.shards() {
+        let mut sec = read_section(&mut r, SEC_SHARD)?;
+        let len = sec.remaining();
+        let restored = load_memory(sec.bytes(len)?)?;
+        if restored.geometry().memory_bytes() != plan.shard_memory_bytes(shard)
+            || restored.key() != ShardedMemory::derived_key(key, shard)
+        {
+            return Err(RecoveryError::ShardMismatch { shard });
+        }
+        restored.verify_all().map_err(RecoveryError::Integrity)?;
+        shards.push(restored);
+    }
+    expect_exhausted(&r)?;
+    Ok(ShardedMemory::from_parts(plan, key, shards))
+}
+
 /// A [`SecureMemory`] whose writes are journaled to a WAL as committed
 /// transactions, so the pair `(last snapshot, WAL)` always recovers to a
 /// consistent, verifying state — no matter where a crash truncates the
@@ -714,6 +817,123 @@ mod tests {
         // ...but recover() refuses to hand it over.
         assert!(matches!(
             recover(&snap, &[]).unwrap_err(),
+            RecoveryError::Integrity(IntegrityError::DataMac { .. })
+        ));
+    }
+
+    fn populated_sharded(shards: usize) -> ShardedMemory {
+        let mut memory =
+            ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, shards).unwrap();
+        for i in 0..60u64 {
+            memory.write(i * 251 % memory.plan().data_lines(), &[i as u8; CACHELINE_BYTES]);
+        }
+        memory
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrips_and_is_deterministic() {
+        for shards in [1usize, 3, 8] {
+            let mut memory = populated_sharded(shards);
+            let root = memory.combined_root();
+            let snap = save_sharded(&memory);
+            let mut restored = recover_sharded(&snap).unwrap();
+            assert_eq!(restored.plan(), memory.plan(), "{shards} shards");
+            assert_eq!(restored.combined_root(), root, "{shards} shards");
+            for i in 0..60u64 {
+                let line = i * 251 % memory.plan().data_lines();
+                assert_eq!(restored.read(line).unwrap(), memory.read(line).unwrap());
+            }
+            restored.verify_all().unwrap();
+            assert_eq!(save_sharded(&restored), snap, "{shards} shards: not deterministic");
+        }
+    }
+
+    #[test]
+    fn sharded_container_errors_are_typed() {
+        let memory = populated_sharded(4);
+        let snap = save_sharded(&memory);
+
+        assert_eq!(recover_sharded(b"nope").unwrap_err(), RecoveryError::BadMagic);
+        // A plain MTSN snapshot is not a sharded container.
+        let plain = save_memory(memory.shard(0));
+        assert_eq!(recover_sharded(&plain).unwrap_err(), RecoveryError::BadMagic);
+
+        // Truncation anywhere is typed, never a panic.
+        for cut in (0..snap.len()).step_by(7) {
+            assert!(recover_sharded(&snap[..cut]).is_err(), "cut {cut} must not recover");
+        }
+
+        // An impossible header partition is a ShardPlan error: set the
+        // declared shard count to zero and fix the header checksum.
+        let mut zero_shards = snap.clone();
+        let header_payload = 8 + 4 + 8; // after magic+version and tag+len
+        zero_shards[header_payload + 8..header_payload + 12].copy_from_slice(&0u32.to_le_bytes());
+        let header_len = 8 + 4 + 16;
+        let crc = fnv1a(&zero_shards[header_payload..header_payload + header_len]);
+        zero_shards[header_payload + header_len..header_payload + header_len + 8]
+            .copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            recover_sharded(&zero_shards).unwrap_err(),
+            RecoveryError::ShardPlan(ShardError::ZeroShards)
+        );
+    }
+
+    #[test]
+    fn sharded_recovery_refuses_blended_tenants() {
+        // Splice shard sections from a different tenant key into a valid
+        // container: every framing checksum still passes, but the derived
+        // keys cannot match the header's tenant key.
+        let ours = populated_sharded(2);
+        let mut theirs = ShardedMemory::new(TreeConfig::morphtree(), MIB, [9u8; 16], 2).unwrap();
+        theirs.write(0, &[1; CACHELINE_BYTES]);
+
+        let mut blended = Vec::new();
+        blended.extend_from_slice(&MAGIC_SHARDED);
+        blended.extend_from_slice(&VERSION.to_le_bytes());
+        let mut w = ByteWriter::new();
+        w.u64(ours.plan().memory_bytes());
+        w.u32(ours.plan().shards() as u32);
+        w.bytes(&ours.tenant_key());
+        write_section(&mut blended, SEC_SHARD_HEADER, &w.into_bytes());
+        write_section(&mut blended, SEC_SHARD, &save_memory(theirs.shard(0)));
+        write_section(&mut blended, SEC_SHARD, &save_memory(theirs.shard(1)));
+
+        assert_eq!(
+            recover_sharded(&blended).unwrap_err(),
+            RecoveryError::ShardMismatch { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn sharded_recovery_refuses_wrong_geometry() {
+        // Header claims 2 shards over MIB, but the embedded shards were cut
+        // for a different partition width.
+        let donor = populated_sharded(4);
+        let mut wrong = Vec::new();
+        wrong.extend_from_slice(&MAGIC_SHARDED);
+        wrong.extend_from_slice(&VERSION.to_le_bytes());
+        let mut w = ByteWriter::new();
+        w.u64(donor.plan().memory_bytes());
+        w.u32(2);
+        w.bytes(&donor.tenant_key());
+        write_section(&mut wrong, SEC_SHARD_HEADER, &w.into_bytes());
+        write_section(&mut wrong, SEC_SHARD, &save_memory(donor.shard(0)));
+        write_section(&mut wrong, SEC_SHARD, &save_memory(donor.shard(1)));
+        assert_eq!(
+            recover_sharded(&wrong).unwrap_err(),
+            RecoveryError::ShardMismatch { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn sharded_recovery_verifies_every_shard() {
+        let mut memory = populated_sharded(2);
+        let victim = memory.plan().shard_base(1);
+        memory.write(victim, &[7; CACHELINE_BYTES]);
+        memory.tamper_raw(victim, 3, 0xff).unwrap();
+        let snap = save_sharded(&memory);
+        assert!(matches!(
+            recover_sharded(&snap).unwrap_err(),
             RecoveryError::Integrity(IntegrityError::DataMac { .. })
         ));
     }

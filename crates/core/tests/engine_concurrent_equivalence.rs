@@ -1,0 +1,233 @@
+//! Lockstep oracle for the sharded concurrent engine: every seeded op mix
+//! replays through [`ShardedMemory`] *and* a serial [`SecureMemory`]
+//! reference, asserting byte-identical data, identical tamper-detection
+//! verdicts (translated to global coordinates), and schedule-invariant
+//! root state.
+//!
+//! Two independent equivalences are pinned:
+//!
+//! 1. **Sharded vs serial** — outcome-by-outcome against the serial
+//!    oracle, for every worker count. The sharded engine must never read
+//!    different bytes, miss a detection the serial memory makes, or
+//!    detect something the serial memory does not.
+//! 2. **Schedule invariance** — for a fixed shard count, the final
+//!    combined root (and every outcome) is identical across 1/2/4/8
+//!    worker threads and across seeded SplitMix64 interleavings of the
+//!    per-shard queues. Concurrency must be unobservable in final state.
+
+use proptest::prelude::*;
+
+use morphtree_core::concurrent::{Op, OpOutcome, ShardedMemory, SplitMix64};
+use morphtree_core::error::IntegrityError;
+use morphtree_core::functional::SecureMemory;
+use morphtree_core::tree::TreeConfig;
+use morphtree_core::CACHELINE_BYTES;
+
+const MIB: u64 = 1 << 20;
+const KEY: [u8; 16] = [0x2b; 16];
+const SHARDS: usize = 8;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn payload(tag: u64) -> [u8; CACHELINE_BYTES] {
+    let mut data = [0u8; CACHELINE_BYTES];
+    for (i, chunk) in data.chunks_mut(8).enumerate() {
+        chunk.copy_from_slice(&tag.wrapping_mul(i as u64 + 1).to_le_bytes());
+    }
+    data
+}
+
+/// A seeded op mix: hot-set-skewed reads and writes with occasional
+/// ciphertext and MAC tampers, the full vocabulary both engines share.
+fn mix(seed: u64, count: usize, lines: u64) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let line = if rng.below(2) == 0 {
+                rng.below(64.min(lines))
+            } else {
+                rng.below(lines)
+            };
+            match rng.below(100) {
+                0..=44 => Op::Write { line, data: payload(rng.next_u64()) },
+                45..=84 => Op::Read { line },
+                85..=92 => Op::TamperData {
+                    line,
+                    offset: rng.below(CACHELINE_BYTES as u64) as usize,
+                    mask: (rng.next_u64() as u8) | 1,
+                },
+                _ => Op::TamperMac { line, mask: rng.next_u64() | 1 },
+            }
+        })
+        .collect()
+}
+
+/// Replays `ops` through a serial full-tree [`SecureMemory`] — the oracle
+/// the sharded engine must agree with, outcome by outcome.
+fn serial_outcomes(ops: &[Op], memory_bytes: u64) -> (Vec<OpOutcome>, SecureMemory) {
+    let mut memory = SecureMemory::new(TreeConfig::morphtree(), memory_bytes, KEY);
+    let outcomes = ops
+        .iter()
+        .map(|op| match *op {
+            Op::Read { line } => match memory.read(line) {
+                Ok(data) => OpOutcome::Data(data),
+                Err(err) => OpOutcome::Detected(err),
+            },
+            Op::Write { line, ref data } => {
+                memory.write(line, data);
+                OpOutcome::Written
+            }
+            Op::TamperData { line, offset, mask } => match memory.tamper_raw(line, offset, mask)
+            {
+                Ok(()) => OpOutcome::Tampered,
+                Err(err) => OpOutcome::TamperRejected(err),
+            },
+            Op::TamperMac { line, mask } => match memory.tamper_mac(line, mask) {
+                Ok(()) => OpOutcome::Tampered,
+                Err(err) => OpOutcome::TamperRejected(err),
+            },
+        })
+        .collect();
+    (outcomes, memory)
+}
+
+/// Compares one outcome pair, tolerating the one representation
+/// difference the sharding architecture allows: a data-plane tamper can
+/// surface as `DataMac` in both engines with the same global address, but
+/// the *ciphertext* differs (per-shard keys), so `Data` payloads are only
+/// comparable as decrypted plaintext — which both variants already carry.
+fn assert_outcomes_match(index: usize, sharded: &OpOutcome, serial: &OpOutcome) {
+    assert_eq!(sharded, serial, "op {index}: sharded and serial engines disagree");
+}
+
+#[test]
+fn lockstep_matches_serial_oracle_at_every_thread_count() {
+    for mix_seed in [3u64, 17, 99] {
+        let memory_bytes = MIB;
+        let lines = memory_bytes / CACHELINE_BYTES as u64;
+        let ops = mix(mix_seed, 600, lines);
+        let (serial, serial_memory) = serial_outcomes(&ops, memory_bytes);
+
+        let mut roots = Vec::new();
+        for threads in THREAD_COUNTS {
+            let mut sharded =
+                ShardedMemory::new(TreeConfig::morphtree(), memory_bytes, KEY, SHARDS).unwrap();
+            let outcomes = sharded.run_batch(&ops, threads);
+            assert_eq!(outcomes.len(), serial.len());
+            for (i, (got, want)) in outcomes.iter().zip(&serial).enumerate() {
+                assert_outcomes_match(i, got, want);
+            }
+            // Full readback sweep: every line of the address space reads
+            // back identically (bytes or verdict) after the mix.
+            for line in 0..lines {
+                assert_eq!(
+                    sharded.read(line),
+                    serial_memory.read(line),
+                    "mix {mix_seed}, {threads} threads: readback diverged at line {line}"
+                );
+            }
+            roots.push(sharded.combined_root());
+        }
+        // Identical final root across every worker count.
+        assert!(
+            roots.windows(2).all(|w| w[0] == w[1]),
+            "mix {mix_seed}: combined root varies with thread count: {roots:?}"
+        );
+    }
+}
+
+#[test]
+fn seeded_interleavings_are_schedule_invariant() {
+    let lines = MIB / CACHELINE_BYTES as u64;
+    let ops = mix(42, 500, lines);
+    let (serial, _) = serial_outcomes(&ops, MIB);
+
+    let mut reference_root = None;
+    for schedule_seed in 0..12u64 {
+        let mut sharded = ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+        let outcomes = sharded.run_interleaved(&ops, schedule_seed);
+        for (i, (got, want)) in outcomes.iter().zip(&serial).enumerate() {
+            assert_outcomes_match(i, got, want);
+        }
+        let root = sharded.combined_root();
+        match reference_root {
+            None => reference_root = Some(root),
+            Some(expected) => {
+                assert_eq!(root, expected, "schedule seed {schedule_seed} moved the root")
+            }
+        }
+    }
+}
+
+/// The mid-run byte-flip guarantee: a tamper injected between two batch
+/// halves surfaces as a detection on *every* schedule and thread count —
+/// no interleaving can lose a corruption.
+#[test]
+fn mid_run_byte_flip_is_detected_on_every_schedule() {
+    let lines = MIB / CACHELINE_BYTES as u64;
+    let victim = lines / 2 + 3;
+    let first: Vec<Op> =
+        (0..120).map(|i| Op::Write { line: (i * 37) % lines, data: payload(i) }).collect();
+    // The victim is written by the first half.
+    let first = {
+        let mut v = first;
+        v.push(Op::Write { line: victim, data: payload(0xdead) });
+        v
+    };
+    let second: Vec<Op> = std::iter::once(Op::Read { line: victim })
+        .chain((0..60).map(|i| Op::Read { line: (i * 37) % lines }))
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        for schedule_seed in 0..6u64 {
+            let mut sharded =
+                ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+            sharded.run_batch(&first, threads);
+            // The mid-run flip, between batches.
+            sharded.tamper_raw(victim, 7, 0x80).unwrap();
+            let outcomes = sharded.run_interleaved(&second, schedule_seed);
+            assert_eq!(
+                outcomes[0],
+                OpOutcome::Detected(IntegrityError::DataMac {
+                    line_addr: victim * CACHELINE_BYTES as u64
+                }),
+                "threads {threads}, schedule {schedule_seed}: flip went undetected"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property form of the lockstep oracle: any seeded mix, any worker
+    /// count, any schedule seed — outcomes match the serial oracle and
+    /// the root is schedule- and thread-count-invariant.
+    #[test]
+    fn any_seeded_mix_is_equivalent_and_invariant(
+        mix_seed in any::<u64>(),
+        schedule_seed in any::<u64>(),
+        thread_sel in any::<u64>(),
+    ) {
+        let lines = MIB / CACHELINE_BYTES as u64;
+        let ops = mix(mix_seed, 200, lines);
+        let (serial, _) = serial_outcomes(&ops, MIB);
+        let threads = THREAD_COUNTS[(thread_sel % 4) as usize];
+
+        let mut batched =
+            ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+        let batch_out = batched.run_batch(&ops, threads);
+        for (i, (got, want)) in batch_out.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(got, want, "mix {}: op {} diverged from serial", mix_seed, i);
+        }
+
+        let mut interleaved =
+            ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+        let inter_out = interleaved.run_interleaved(&ops, schedule_seed);
+        prop_assert_eq!(&inter_out, &batch_out, "interleaved outcomes diverged");
+        prop_assert_eq!(
+            interleaved.combined_root(),
+            batched.combined_root(),
+            "root depends on the schedule"
+        );
+    }
+}
