@@ -14,8 +14,20 @@
 //!   model: randomized tamper/replay/splice attacks on every tree config,
 //!   asserting 100% detection at the right tree location;
 //! - `snapshot` — write a populated secure memory to a checksummed
-//!   snapshot file (`--out`), or recover one and re-verify every MAC
-//!   bottom-up (`--verify`);
+//!   snapshot file (`--out`, `--shards N` for a sharded `MTSH` container),
+//!   or recover one and re-verify every MAC bottom-up (`--verify`; sharded
+//!   images are verified per shard and the first failing shard is named);
+//! - `recover` — rebuild a memory from durable state with work bounded by
+//!   the open epoch: `--snapshot FILE [--wal FILE]` for a single memory,
+//!   `--state PREFIX` for a sharded container plus per-shard WALs (as
+//!   written by `serve --epoch-ops ... --state-out PREFIX`), reporting
+//!   per-shard recovery modes and quarantining — not dying on — bad
+//!   shards;
+//! - `crash-campaign` — seeded fault-injected crash drills against the
+//!   epoch-bounded sharded engine: kills at random WAL offsets, crashes
+//!   between the per-shard seals of a cut, and corrupted-log quarantine
+//!   drills, each recovered and compared byte-for-byte against a
+//!   full-replay oracle;
 //! - `stats` — render a `--metrics` JSON file as a human-readable
 //!   summary;
 //! - `list` — available workloads and tree configurations.
@@ -175,12 +187,18 @@ pub fn usage() -> String {
      \x20 sweep     [--figure all|NAME[,NAME...]] [--threads 0=auto] [--scale 16]\n\
      \x20           [--seed 42] [--warmup 4000000] [--instructions 2000000]\n\
      \x20           [--metrics FILE] [--reports 1] [--snapshot FILE] [--resume FILE]\n\
-     \x20 snapshot  --out FILE | --verify FILE [--config morph]\n\
+     \x20 snapshot  --out FILE | --verify FILE [--config morph] [--shards 0]\n\
      \x20           [--memory-kib 1024] [--lines 64] [--seed 42]\n\
-     \x20 perf      [--out BENCH.json] [--quick 1] [--metrics FILE]\n\
+     \x20 recover   --snapshot FILE [--wal FILE] | --state PREFIX\n\
+     \x20 perf      [--out BENCH.json] [--quick 1] [--recovery 1] [--metrics FILE]\n\
      \x20 serve     [--threads 1] [--shards 0=threads] [--ops 100000] [--batch 8192]\n\
      \x20           [--memory-mib 256] [--hot-lines 8192] [--write-pct 80]\n\
      \x20           [--config morph] [--seed 42] [--verify 0] [--metrics FILE]\n\
+     \x20           [--epoch-ops 0=off] [--state-out PREFIX]\n\
+     \x20 crash-campaign [--seed 42] [--kills 24] [--shards 4] [--threads 2]\n\
+     \x20           [--epoch-ops 64] [--batches 12] [--batch-ops 32]\n\
+     \x20           [--memory-kib 1024] [--hot-lines 192] [--config morph]\n\
+     \x20           [--report FILE]\n\
      \x20 attack    [--seed 42] [--count 100] [--config paper|sc64|vault|zcc|mcr|morphtree]\n\
      \x20           [--memory-kib 1024] [--lines 96] [--metrics FILE]\n\
      \x20 stats     FILE (a --metrics JSON dump)\n\
@@ -211,9 +229,11 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "replay" => cmd_replay(&flags),
         "sweep" => cmd_sweep(&flags),
         "snapshot" => cmd_snapshot(&flags),
+        "recover" => cmd_recover(&flags),
         "perf" => perf::cmd_perf(&flags),
         "serve" => serve::cmd_serve(&flags),
         "attack" => cmd_attack(&flags),
+        "crash-campaign" => cmd_crash_campaign(&flags),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command `{other}`\n\n{}", usage()))),
@@ -515,6 +535,7 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::concurrent::{Op, ShardedMemory};
     use morphtree_core::functional::SecureMemory;
     use morphtree_core::persist;
 
@@ -527,8 +548,33 @@ fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
         (Some(path), None) => {
             let memory_bytes = flags.number_or("memory-kib", 1024)?.max(1) << 10;
             let seed = flags.number_or("seed", 42)?;
+            let shards = flags.number_or("shards", 0)? as usize;
             let mut key = [0u8; 16];
             key[..8].copy_from_slice(&seed.to_le_bytes());
+            if shards > 0 {
+                // Sharded image: populate through the engine so each shard's
+                // subtree carries real written state, then save as MTSH.
+                let mut memory = ShardedMemory::new(tree, memory_bytes, key, shards)
+                    .map_err(|e| err(format!("cannot shard {shards} ways: {e}")))?;
+                let lines = flags.number_or("lines", 64)?.min(memory.plan().data_lines());
+                let ops: Vec<Op> = (0..lines)
+                    .map(|line| Op::Write {
+                        line,
+                        data: [(line as u8).wrapping_mul(37) ^ 0x6d; 64],
+                    })
+                    .collect();
+                memory.run_batch(&ops, 1);
+                let bytes = persist::save_sharded(&memory);
+                std::fs::write(path, &bytes)
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                return Ok(format!(
+                    "sharded snapshot of {} over {} ({shards} shard(s), {lines} populated \
+                     line(s)) written to {path} ({} bytes)\n",
+                    memory.shard(0).config().name(),
+                    human(memory_bytes),
+                    bytes.len(),
+                ));
+            }
             let mut memory = SecureMemory::new(tree, memory_bytes, key);
             let lines = flags.number_or("lines", 64)?.min(memory.geometry().data_lines());
             for line in 0..lines {
@@ -549,6 +595,9 @@ fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
         (None, Some(path)) => {
             let bytes =
                 std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            if bytes.starts_with(&persist::MAGIC_SHARDED) {
+                return verify_sharded_image(path, &bytes);
+            }
             // Recovery with an empty log replays nothing: this is a pure
             // load + bottom-up re-verification of every stored MAC.
             let memory = persist::recover(&bytes, &[])
@@ -561,6 +610,197 @@ fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
                 memory.geometry().data_lines(),
             ))
         }
+    }
+}
+
+/// Verifies an `MTSH` container shard by shard, rendering one line per
+/// shard (geometry, root, status). Any failing shard makes the whole
+/// command fail, naming the first bad shard — after the full table, so a
+/// degraded image is still fully diagnosed.
+fn verify_sharded_image(path: &str, bytes: &[u8]) -> Result<String, CliError> {
+    use morphtree_core::persist;
+
+    let reports = persist::verify_shards(bytes)
+        .map_err(|e| err(format!("{path}: container failed verification: {e}")))?;
+    let mut out = format!("{path}: sharded image, {} shard(s)\n", reports.len());
+    let mut first_bad = None;
+    for report in &reports {
+        match (&report.status, report.root_digest) {
+            (Ok(()), Some(root)) => writeln!(
+                out,
+                "  shard {:<3} {:>10} {:>2} level(s)  root {root:#018x}  verified",
+                report.shard,
+                human(report.memory_bytes),
+                report.levels,
+            )
+            .expect("write to string"),
+            (status, _) => {
+                let what = status.as_ref().err().map_or_else(
+                    || "failed without a diagnosis".to_owned(),
+                    ToString::to_string,
+                );
+                writeln!(
+                    out,
+                    "  shard {:<3} {:>10}  FAILED: {what}",
+                    report.shard,
+                    human(report.memory_bytes),
+                )
+                .expect("write to string");
+                if first_bad.is_none() {
+                    first_bad = Some(report.shard);
+                }
+            }
+        }
+    }
+    match first_bad {
+        None => {
+            writeln!(out, "{path}: sharded snapshot verified — every shard checked bottom-up")
+                .expect("write to string");
+            Ok(out)
+        }
+        Some(shard) => Err(err(format!(
+            "{out}{path}: shard {shard} failed verification (first failure; see table above)"
+        ))),
+    }
+}
+
+fn cmd_recover(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::persist;
+    use std::time::Instant;
+
+    match (flags.get("state"), flags.get("snapshot")) {
+        (Some(_), Some(_)) => Err(err("--state and --snapshot are mutually exclusive")),
+        (None, None) => Err(err(
+            "recover needs --snapshot FILE [--wal FILE] (single memory) or --state PREFIX \
+             (sharded container + per-shard WALs)",
+        )),
+        (None, Some(path)) => {
+            let snapshot =
+                std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let wal = match flags.get("wal") {
+                Some(p) => std::fs::read(p).map_err(|e| err(format!("cannot read {p}: {e}")))?,
+                None => Vec::new(),
+            };
+            let started = Instant::now();
+            let (memory, stats) = persist::recover_bounded(&snapshot, &wal)
+                .map_err(|e| err(format!("{path}: recovery failed: {e}")))?;
+            let elapsed = started.elapsed();
+            let mut out = format!(
+                "{path}: recovered {} over {} in {:.1}ms\n",
+                memory.config().name(),
+                human(memory.geometry().memory_bytes()),
+                elapsed.as_secs_f64() * 1e3,
+            );
+            writeln!(
+                out,
+                "  mode {} | epoch {} | {} txn(s), {} record(s) replayed | {} line(s) verified{}",
+                stats.mode,
+                stats.sealed_epoch,
+                stats.replayed_txns,
+                stats.replayed_records,
+                stats.verified_lines,
+                if stats.seal_fallback { " | SEAL UNUSABLE — full verification forced" } else { "" },
+            )
+            .expect("write to string");
+            Ok(out)
+        }
+        (Some(prefix), None) => {
+            let container_path = format!("{prefix}.mtsh");
+            let container = std::fs::read(&container_path)
+                .map_err(|e| err(format!("cannot read {container_path}: {e}")))?;
+            let mut wals = Vec::new();
+            loop {
+                let wal_path = format!("{prefix}.shard{}.wal", wals.len());
+                match std::fs::read(&wal_path) {
+                    Ok(bytes) => wals.push(bytes),
+                    Err(_) => break,
+                }
+            }
+            if wals.is_empty() {
+                return Err(err(format!(
+                    "no per-shard WALs found at {prefix}.shard0.wal — was the state written \
+                     with `serve --epoch-ops ... --state-out {prefix}`?"
+                )));
+            }
+            let started = Instant::now();
+            let rec = persist::recover_sharded_bounded(&container, &wals)
+                .map_err(|e| err(format!("{container_path}: recovery failed: {e}")))?;
+            let elapsed = started.elapsed();
+            let mut out = format!(
+                "{prefix}: recovered {} shard(s) in {:.1}ms — resolved epoch {}{}\n",
+                rec.shards.len(),
+                elapsed.as_secs_f64() * 1e3,
+                rec.resolved_epoch,
+                if rec.mid_cut { " (crash landed mid-cut; resolved to last consistent epoch)" } else { "" },
+            );
+            let mut quarantined = Vec::new();
+            for shard_rec in &rec.shards {
+                match &shard_rec.outcome {
+                    Ok(stats) => writeln!(
+                        out,
+                        "  shard {:<3} mode {:<14} epoch {} | {} txn(s) replayed | {} line(s) verified",
+                        shard_rec.shard,
+                        stats.mode.to_string(),
+                        stats.sealed_epoch,
+                        stats.replayed_txns,
+                        stats.verified_lines,
+                    )
+                    .expect("write to string"),
+                    Err(e) => {
+                        writeln!(out, "  shard {:<3} QUARANTINED: {e}", shard_rec.shard)
+                            .expect("write to string");
+                        quarantined.push(shard_rec.shard.to_string());
+                    }
+                }
+            }
+            if quarantined.is_empty() {
+                writeln!(out, "all shards healthy; state is serving").expect("write to string");
+                Ok(out)
+            } else {
+                Err(err(format!(
+                    "{out}degraded: shard(s) {} quarantined — healthy shards serve, \
+                     quarantined shards refuse",
+                    quarantined.join(", "),
+                )))
+            }
+        }
+    }
+}
+
+fn cmd_crash_campaign(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::attack::{run_crash_campaign, CrashCampaignConfig};
+
+    let campaign = CrashCampaignConfig {
+        seed: flags.number_or("seed", 42)?,
+        kills: flags.number_or("kills", 24)? as usize,
+        shards: flags.number_or("shards", 4)? as usize,
+        threads: flags.number_or("threads", 2)? as usize,
+        epoch_ops: flags.number_or("epoch-ops", 64)?,
+        batches: flags.number_or("batches", 12)? as usize,
+        batch_ops: flags.number_or("batch-ops", 32)? as usize,
+        memory_bytes: flags.number_or("memory-kib", 1024)? << 10,
+        hot_lines: flags.number_or("hot-lines", 192)?,
+    };
+    let tree = tree_by_name(flags.get_or("config", "morph"))?;
+    let report = run_crash_campaign(&tree, &campaign)
+        .map_err(|e| err(format!("crash campaign could not run: {e}")))?;
+    let rendered = report.render();
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, &rendered)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = rendered;
+    if let Some(path) = flags.get("report") {
+        writeln!(out, "report written to {path}").expect("write to string");
+    }
+    if report.passed() {
+        Ok(out)
+    } else {
+        Err(err(format!(
+            "{out}CRASH HOLE: {} divergence(s) — {}",
+            report.divergences,
+            report.first_divergence().unwrap_or("unrecorded"),
+        )))
     }
 }
 
@@ -797,6 +1037,131 @@ mod tests {
         let e = run("snapshot", &strs(&["--verify", &path_str])).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(e.0.contains("failed verification"), "{}", e.0);
+    }
+
+    #[test]
+    fn snapshot_writes_and_verifies_sharded_images() {
+        let path = std::env::temp_dir().join("morphtree-cli-snap.mtsh");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run(
+            "snapshot",
+            &strs(&["--out", &path_str, "--config", "sc64", "--memory-kib", "256",
+                    "--shards", "4", "--lines", "32"]),
+        )
+        .unwrap();
+        assert!(out.contains("sharded snapshot"), "{out}");
+        assert!(out.contains("4 shard(s)"), "{out}");
+        let out = run("snapshot", &strs(&["--verify", &path_str])).unwrap();
+        assert!(out.contains("sharded image, 4 shard(s)"), "{out}");
+        assert!(out.contains("shard 3"), "{out}");
+        assert!(out.contains("sharded snapshot verified"), "{out}");
+
+        // Corrupt the last shard's payload and patch its section checksum:
+        // framing stays valid, so verification must fail *per shard* and
+        // name the culprit rather than refusing the whole container.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mut offset = 8; // MAGIC + VERSION
+        let mut last_payload = 0..0;
+        while offset + 12 <= bytes.len() {
+            let len =
+                u64::from_le_bytes(bytes[offset + 4..offset + 12].try_into().unwrap()) as usize;
+            last_payload = offset + 12..offset + 12 + len;
+            offset = offset + 12 + len + 8;
+        }
+        bytes[last_payload.end - 9] ^= 0x40;
+        let crc = {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in &bytes[last_payload.clone()] {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash
+        };
+        let crc_at = last_payload.end;
+        bytes[crc_at..crc_at + 8].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let e = run("snapshot", &strs(&["--verify", &path_str])).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(e.0.contains("shard 3 failed verification"), "{}", e.0);
+        assert!(e.0.contains("shard 0") && e.0.contains("verified"), "healthy rows: {}", e.0);
+    }
+
+    #[test]
+    fn recover_command_reports_single_memory_stats() {
+        let path = std::env::temp_dir().join("morphtree-cli-recover.mtsn");
+        let path_str = path.to_str().unwrap().to_owned();
+        run(
+            "snapshot",
+            &strs(&["--out", &path_str, "--config", "sc64", "--memory-kib", "256",
+                    "--lines", "8"]),
+        )
+        .unwrap();
+        // No WAL and no seal: the full path, reported as such.
+        let out = run("recover", &strs(&["--snapshot", &path_str])).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("recovered SC-64"), "{out}");
+        assert!(out.contains("mode full"), "{out}");
+    }
+
+    #[test]
+    fn recover_command_recovers_serve_state() {
+        let dir = std::env::temp_dir().join("morphtree-cli-recover-state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("st").to_str().unwrap().to_owned();
+        run(
+            "serve",
+            &strs(&["--threads", "2", "--ops", "1200", "--memory-mib", "4", "--batch", "400",
+                    "--epoch-ops", "500", "--state-out", &prefix]),
+        )
+        .unwrap();
+        let out = run("recover", &strs(&["--state", &prefix])).unwrap();
+        assert!(out.contains("recovered 2 shard(s)"), "{out}");
+        assert!(out.contains("resolved epoch"), "{out}");
+        assert!(out.contains("all shards healthy"), "{out}");
+
+        // Corrupt shard 1's WAL (a complete record, not a torn tail): the
+        // shard must be quarantined and the exit must be non-zero.
+        let wal_path = format!("{prefix}.shard1.wal");
+        let mut wal = std::fs::read(&wal_path).unwrap();
+        wal[6] ^= 0xff;
+        std::fs::write(&wal_path, &wal).unwrap();
+        let e = run("recover", &strs(&["--state", &prefix])).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(e.0.contains("shard 1   QUARANTINED"), "{}", e.0);
+        assert!(e.0.contains("shard(s) 1 quarantined"), "{}", e.0);
+    }
+
+    #[test]
+    fn recover_command_rejects_flag_misuse() {
+        let e = run("recover", &[]).unwrap_err();
+        assert!(e.0.contains("--snapshot"), "{}", e.0);
+        let e = run("recover", &strs(&["--snapshot", "a", "--state", "b"])).unwrap_err();
+        assert!(e.0.contains("mutually exclusive"), "{}", e.0);
+        let e = run("recover", &strs(&["--state", "/nonexistent/prefix"])).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
+    }
+
+    #[test]
+    fn crash_campaign_command_passes_and_writes_report() {
+        let path = std::env::temp_dir().join("morphtree-cli-crash-report.txt");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run(
+            "crash-campaign",
+            &strs(&["--kills", "6", "--shards", "2", "--threads", "2", "--batches", "4",
+                    "--epoch-ops", "48", "--hot-lines", "96", "--report", &path_str]),
+        )
+        .unwrap();
+        assert!(out.contains("crash campaign result: PASS"), "{out}");
+        assert!(out.contains("recovery latency"), "{out}");
+        let report = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(report.contains("crash campaign result: PASS"), "{report}");
+    }
+
+    #[test]
+    fn crash_campaign_rejects_bad_flags() {
+        assert!(run("crash-campaign", &strs(&["--batches", "0"])).is_err());
+        assert!(run("crash-campaign", &strs(&["--config", "bogus"])).is_err());
     }
 
     #[test]

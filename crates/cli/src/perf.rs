@@ -9,19 +9,25 @@
 //! 3. metadata-engine reads and writes — the paged-flat-store engine
 //!    versus the frozen [`ReferenceEngine`] (the pre-optimization
 //!    `HashMap`-backed implementation, kept verbatim as the baseline);
-//! 4. one full figure sweep (`fig07`) as an end-to-end wall-clock number.
+//! 4. a crash-recovery grid (memory size × open-epoch WAL length):
+//!    epoch-bounded recovery versus the full-replay baseline it
+//!    supersedes, on identical `(snapshot, WAL)` inputs;
+//! 5. one full figure sweep (`fig07`) as an end-to-end wall-clock number.
 //!
 //! Each benchmark reports mean ns/op and ops/sec over a fixed time
 //! window; the optimized/reference pairs additionally report a speedup
 //! ratio in the JSON `speedups` section, which is what CI inspects. The
 //! baselines run in-process so the comparison is same-machine,
-//! same-build, same-workload.
+//! same-build, same-workload. The recovery grid lands in the JSON
+//! `recovery` section; its headline `bounded_vs_full_largest` ratio is
+//! the bounded path's speedup at the largest grid point.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use morphtree_bench::SplitMix64;
 use morphtree_core::concurrent::{Op, ShardedMemory};
+use morphtree_core::persist::{recover, recover_bounded, EpochMemory};
 use morphtree_core::counters::morph::{MorphLine, MorphMode};
 use morphtree_core::counters::split::{SplitConfig, SplitLine};
 use morphtree_core::counters::CounterLine;
@@ -252,7 +258,26 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         .expect("write to string");
     }
 
-    // 5. One full figure sweep, end to end.
+    // 5. Crash-recovery grid: bounded (epoch-anchored) recovery vs the
+    //    full-replay baseline on identical (snapshot, WAL) inputs.
+    let recovery_points = if flags.get_or("recovery", "1") != "0" {
+        run_recovery_grid(quick)
+    } else {
+        Vec::new()
+    };
+    for p in &recovery_points {
+        writeln!(
+            progress,
+            "{:<28} {:>10} ms bounded {:>10} ms full ({:>5}x)",
+            format!("recover_{}mib_{}txn", p.memory_mib, p.wal_txns),
+            number(p.bounded_ms),
+            number(p.full_ms),
+            number(p.speedup()),
+        )
+        .expect("write to string");
+    }
+
+    // 6. One full figure sweep, end to end.
     let sweep_ms = run_sweep(quick)?;
     writeln!(progress, "{:<28} {sweep_ms:>10} ms wall-clock", "sweep_fig07").expect("write");
 
@@ -312,6 +337,35 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
     writeln!(json, "    \"scaling_8v1\": {}", number(serve_scaling_8v1(&serve_points)))
         .expect("write");
     json.push_str("  },\n");
+    if !recovery_points.is_empty() {
+        json.push_str("  \"recovery\": {\n");
+        json.push_str("    \"config\": \"morphtree\",\n");
+        json.push_str("    \"baseline\": \"full replay + full bottom-up verification\",\n");
+        json.push_str("    \"grid\": [\n");
+        for (i, p) in recovery_points.iter().enumerate() {
+            let comma = if i + 1 == recovery_points.len() { "" } else { "," };
+            writeln!(
+                json,
+                "      {{\"memory_mib\": {}, \"wal_txns\": {}, \"wal_bytes\": {}, \
+                 \"bounded_ms\": {}, \"full_ms\": {}, \"speedup\": {}}}{comma}",
+                p.memory_mib,
+                p.wal_txns,
+                p.wal_bytes,
+                number(p.bounded_ms),
+                number(p.full_ms),
+                number(p.speedup()),
+            )
+            .expect("write to string");
+        }
+        json.push_str("    ],\n");
+        writeln!(
+            json,
+            "    \"bounded_vs_full_largest\": {}",
+            number(recovery_points.last().map_or(0.0, RecoveryPoint::speedup)),
+        )
+        .expect("write");
+        json.push_str("  },\n");
+    }
     writeln!(json, "  \"sweep\": {{\"figure\": \"fig07\", \"wall_ms\": {sweep_ms}}}").expect("write");
     json.push_str("}\n");
 
@@ -334,6 +388,11 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
             registry.gauge_set(&format!("perf.serve_{threads}t.ops_per_sec"), Some(*ops_per_sec));
         }
         registry.gauge_set("perf.serve.scaling_8v1", Some(serve_scaling_8v1(&serve_points)));
+        for p in &recovery_points {
+            let prefix = format!("perf.recover_{}mib_{}txn", p.memory_mib, p.wal_txns);
+            registry.gauge_set(&format!("{prefix}.bounded_ms"), Some(p.bounded_ms));
+            registry.gauge_set(&format!("{prefix}.full_ms"), Some(p.full_ms));
+        }
         registry.counter_set("perf.sweep_fig07.wall_ms", sweep_ms);
         crate::metrics::write_metrics(path, &registry)?;
         writeln!(summary, "metrics written to {path}").expect("write to string");
@@ -348,6 +407,16 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         number(serve_scaling_8v1(&serve_points))
     )
     .expect("write to string");
+    if let Some(largest) = recovery_points.last() {
+        writeln!(
+            summary,
+            "bounded recovery vs full replay at {} MiB / {} txn(s): {}x",
+            largest.memory_mib,
+            largest.wal_txns,
+            number(largest.speedup()),
+        )
+        .expect("write to string");
+    }
     writeln!(summary, "\nreport written to {out_path}").expect("write to string");
     Ok(summary)
 }
@@ -407,6 +476,93 @@ fn run_serve_scaling(window: Duration) -> Vec<(usize, f64)> {
             (threads, best)
         })
         .collect()
+}
+
+/// One point of the crash-recovery grid: bounded vs full recovery of the
+/// same durable state.
+struct RecoveryPoint {
+    memory_mib: u64,
+    wal_txns: usize,
+    wal_bytes: usize,
+    bounded_ms: f64,
+    full_ms: f64,
+}
+
+impl RecoveryPoint {
+    fn speedup(&self) -> f64 {
+        if self.bounded_ms > 0.0 {
+            self.full_ms / self.bounded_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Best-of-3 wall-clock milliseconds for `op` (the minimum is the stable
+/// estimator under one-sided interference noise, as with [`measure`]).
+fn time_ms<F: FnMut()>(mut op: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        op();
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs the recovery grid: memory size × open-epoch WAL length. For each
+/// point the victim is an [`EpochMemory`] whose sealed history has
+/// populated a slice of the data store proportional to its size (1 base
+/// write per 64 lines, floored at 256 — full verification must re-prove
+/// every populated line, so its cost tracks state size the way a served
+/// memory's would), plus an open epoch of `wal_txns` writes; both
+/// recovery paths get the identical `(sealed snapshot, WAL)` pair. The
+/// grid is ordered smallest→largest, so `.last()` is the largest point —
+/// where bounded recovery's advantage over full replay is most
+/// pronounced.
+fn run_recovery_grid(quick: bool) -> Vec<RecoveryPoint> {
+    let memories: &[u64] = if quick { &[1, 4] } else { &[1, 8, 32] };
+    let txns: &[usize] = if quick { &[8, 32] } else { &[8, 64, 256] };
+    let mut points = Vec::new();
+    for &memory_mib in memories {
+        for &wal_txns in txns {
+            let mut mem =
+                EpochMemory::new(TreeConfig::morphtree(), memory_mib << 20, [0x42; 16], 0);
+            let lines = (memory_mib << 20) / 64;
+            let base_writes = (lines / 64).max(256);
+            let mut rng = SplitMix64::new(11);
+            let mut payload = [0u8; CACHELINE_BYTES];
+            // One sealed epoch of base history...
+            for _ in 0..base_writes {
+                payload[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                mem.write(rng.next_u64() % lines, &payload);
+            }
+            mem.cut();
+            // ...then the open epoch a crash would interrupt.
+            for _ in 0..wal_txns {
+                payload[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                mem.write(rng.next_u64() % lines, &payload);
+            }
+            let snapshot = mem.sealed_snapshot();
+            let wal = mem.wal_bytes();
+            let bounded_ms = time_ms(|| {
+                let (m, stats) = recover_bounded(&snapshot, wal).expect("bounded recovery");
+                std::hint::black_box((m.root_digest(), stats.replayed_txns));
+            });
+            let full_ms = time_ms(|| {
+                let m = recover(&snapshot, wal).expect("full recovery");
+                std::hint::black_box(m.root_digest());
+            });
+            points.push(RecoveryPoint {
+                memory_mib,
+                wal_txns,
+                wal_bytes: wal.len(),
+                bounded_ms,
+                full_ms,
+            });
+        }
+    }
+    points
 }
 
 /// The headline scaling ratio: 8-thread throughput over 1-thread.
@@ -474,6 +630,22 @@ mod tests {
         let points = run_serve_scaling(Duration::from_millis(8));
         assert_eq!(points.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![1, 2, 4, 8]);
         assert!(points.iter().all(|(_, ops)| *ops > 0.0), "{points:?}");
+    }
+
+    #[test]
+    fn recovery_grid_prefers_bounded_at_the_largest_point() {
+        let points = run_recovery_grid(true);
+        assert_eq!(points.len(), 4, "quick grid is 2 memories x 2 WAL lengths");
+        assert!(points.iter().all(|p| p.bounded_ms > 0.0 && p.full_ms > 0.0));
+        assert!(points.iter().all(|p| p.wal_bytes > 0 && p.wal_txns > 0));
+        let largest = points.last().unwrap();
+        assert!(
+            largest.speedup() > 1.0,
+            "bounded {}ms vs full {}ms at {} MiB",
+            largest.bounded_ms,
+            largest.full_ms,
+            largest.memory_mib,
+        );
     }
 
     #[test]

@@ -9,11 +9,21 @@
 //! line is grep-able (`serve complete:`) for CI smoke checks, and
 //! `--verify 1` additionally audits every shard subtree bottom-up and
 //! proves a seeded tamper drill is detected before reporting success.
+//!
+//! `--epoch-ops N` switches the service to epoch-bounded persistence
+//! ([`EpochShardedMemory`]): every shard journals its writes to a WAL and
+//! the engine cuts an epoch every `N` ops — sealing per-shard roots, so a
+//! crash costs at most one epoch of replay. Epoch mode always ends with a
+//! recovery drill (recover the durable state, compare it to the live
+//! engine), and `--state-out PREFIX` persists that state as
+//! `PREFIX.mtsh` + `PREFIX.shard<K>.wal` for `morphtree recover`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use morphtree_core::concurrent::{Op, OpOutcome, ShardedMemory, SplitMix64};
+use morphtree_core::persist::{recover_sharded_bounded, EpochShardedMemory};
+use morphtree_core::tree::TreeConfig;
 use morphtree_core::CACHELINE_BYTES;
 
 use crate::{err, tree_by_name, CliError, Flags};
@@ -47,14 +57,21 @@ fn build_batch(
         .collect()
 }
 
-/// Runs the serve workload; returns the human-readable report.
-///
-/// # Errors
-///
-/// Returns a [`CliError`] for bad flags, impossible shard plans, or — the
-/// one failure that matters — an integrity violation the service failed
-/// to detect during the `--verify` drill.
-pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+/// The parsed operating point of one `serve` invocation.
+struct ServeParams {
+    threads: usize,
+    shards: usize,
+    ops_total: usize,
+    batch: usize,
+    memory_bytes: u64,
+    hot_lines: u64,
+    write_pct: u64,
+    seed: u64,
+    verify: bool,
+    tree: TreeConfig,
+}
+
+fn parse_params(flags: &Flags) -> Result<ServeParams, CliError> {
     let threads = flags.number_or("threads", 1)? as usize;
     if threads == 0 {
         return Err(err("--threads must be positive"));
@@ -64,20 +81,45 @@ pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         0 => threads,
         n => n,
     };
-    let ops_total = flags.number_or("ops", 100_000)? as usize;
-    let batch = flags.number_or("batch", 8192)?.max(1) as usize;
-    let memory_mib = flags.number_or("memory-mib", 256)?.max(1);
-    let hot_lines = flags.number_or("hot-lines", 8192)?.max(1);
-    let write_pct = flags.number_or("write-pct", 80)?.min(100);
-    let seed = flags.number_or("seed", 42)?;
-    let verify = flags.get_or("verify", "0") != "0";
-    let tree = tree_by_name(flags.get_or("config", "morph"))?;
+    Ok(ServeParams {
+        threads,
+        shards,
+        ops_total: flags.number_or("ops", 100_000)? as usize,
+        batch: flags.number_or("batch", 8192)?.max(1) as usize,
+        memory_bytes: flags.number_or("memory-mib", 256)?.max(1) << 20,
+        hot_lines: flags.number_or("hot-lines", 8192)?.max(1),
+        write_pct: flags.number_or("write-pct", 80)?.min(100),
+        seed: flags.number_or("seed", 42)?,
+        verify: flags.get_or("verify", "0") != "0",
+        tree: tree_by_name(flags.get_or("config", "morph"))?,
+    })
+}
 
-    let memory_bytes = memory_mib << 20;
+/// Runs the serve workload; returns the human-readable report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad flags, impossible shard plans, or — the
+/// failures that matter — an integrity violation the service failed to
+/// detect during the `--verify` drill, or (epoch mode) a recovery drill
+/// that did not reproduce the live state.
+pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let params = parse_params(flags)?;
+    let epoch_ops = flags.number_or("epoch-ops", 0)?;
+    if flags.get("state-out").is_some() && epoch_ops == 0 {
+        return Err(err("--state-out requires --epoch-ops (epoch mode persists state)"));
+    }
+    if epoch_ops > 0 {
+        return serve_epoch(flags, &params, epoch_ops);
+    }
+
+    let ServeParams {
+        threads, shards, ops_total, batch, memory_bytes, hot_lines, write_pct, seed, verify, tree,
+    } = params;
     let mut key = [0u8; 16];
     key[..8].copy_from_slice(&seed.to_le_bytes());
     let mut memory = ShardedMemory::new(tree, memory_bytes, key, shards)
-        .map_err(|e| err(format!("cannot shard {memory_mib} MiB {shards} ways: {e}")))?;
+        .map_err(|e| err(format!("cannot shard {} {shards} ways: {e}", crate::human(memory_bytes))))?;
 
     let mut rng = SplitMix64::new(seed);
     let mut served = 0usize;
@@ -169,6 +211,155 @@ pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Epoch-mode serve: the same workload through [`EpochShardedMemory`],
+/// closing with a recovery drill against the durable `(container, WALs)`
+/// state — and persisting that state when `--state-out` is given.
+fn serve_epoch(flags: &Flags, params: &ServeParams, epoch_ops: u64) -> Result<String, CliError> {
+    let ServeParams {
+        threads, shards, ops_total, batch, memory_bytes, hot_lines, write_pct, seed, verify, ..
+    } = *params;
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&seed.to_le_bytes());
+    let mut memory =
+        EpochShardedMemory::new(params.tree.clone(), memory_bytes, key, shards, epoch_ops)
+            .map_err(|e| {
+                err(format!("cannot shard {} {shards} ways: {e}", crate::human(memory_bytes)))
+            })?;
+
+    let mut rng = SplitMix64::new(seed);
+    let mut served = 0usize;
+    let mut detected = 0u64;
+    let started = Instant::now();
+    while served < ops_total {
+        let count = batch.min(ops_total - served);
+        let ops = build_batch(&mut rng, memory.memory(), count, hot_lines, write_pct);
+        for outcome in memory.run_batch(&ops, threads) {
+            if matches!(outcome, OpOutcome::Detected(_)) {
+                detected += 1;
+            }
+        }
+        served += count;
+    }
+    let elapsed = started.elapsed();
+    let ops_per_sec = served as f64 / elapsed.as_secs_f64();
+    let root = memory.combined_root();
+    if detected != 0 {
+        return Err(err(format!(
+            "serve integrity failure: {detected} spurious detection(s) in an honest workload"
+        )));
+    }
+
+    let mut out = format!(
+        "serving {} of {} across {shards} shard(s), {threads} worker thread(s), epoch every {epoch_ops} ops\n",
+        crate::human(memory_bytes),
+        memory.memory().shard(0).config().name(),
+    );
+    writeln!(
+        out,
+        "levels/shard {} | hot lines {hot_lines} | batch {batch} | {write_pct}% writes | seed {seed}",
+        memory.memory().shard(0).geometry().top_level() + 1,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "served {served} ops in {:.3}s — {:.0} ops/s | root {root:#018x} | {} recombine(s)",
+        elapsed.as_secs_f64(),
+        ops_per_sec,
+        memory.recombines(),
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "epochs sealed {} | open-epoch ops {} (cut every {epoch_ops})",
+        memory.epoch(),
+        memory.ops_in_epoch(),
+    )
+    .expect("write to string");
+
+    // The durable state a crash right now would leave behind: the last
+    // cut's sealed container plus each shard's open-epoch WAL.
+    let container = memory.sealed_container();
+    let wals = memory.wals();
+    if let Some(prefix) = flags.get("state-out") {
+        std::fs::write(format!("{prefix}.mtsh"), &container)
+            .map_err(|e| err(format!("cannot write {prefix}.mtsh: {e}")))?;
+        for (k, wal) in wals.iter().enumerate() {
+            std::fs::write(format!("{prefix}.shard{k}.wal"), wal)
+                .map_err(|e| err(format!("cannot write {prefix}.shard{k}.wal: {e}")))?;
+        }
+        writeln!(
+            out,
+            "state written to {prefix}.mtsh + {} per-shard WAL(s) ({} container bytes)",
+            wals.len(),
+            container.len(),
+        )
+        .expect("write to string");
+    }
+
+    // Recovery drill: recovering the durable state must reproduce the
+    // live engine exactly, with no shard quarantined.
+    let drill_start = Instant::now();
+    let rec = recover_sharded_bounded(&container, &wals)
+        .map_err(|e| err(format!("recovery drill failed outright: {e}")))?;
+    let drill = drill_start.elapsed();
+    if rec.memory.healthy_shards() != shards {
+        return Err(err(format!(
+            "recovery drill quarantined {} of {shards} shard(s)",
+            shards - rec.memory.healthy_shards(),
+        )));
+    }
+    for s in 0..shards {
+        use morphtree_core::persist::save_memory;
+        if save_memory(rec.memory.shard(s)) != save_memory(memory.memory().shard(s)) {
+            return Err(err(format!(
+                "DIVERGENCE: recovery drill shard {s} does not match the live state"
+            )));
+        }
+    }
+    let replayed: usize = rec
+        .shards
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().ok().map(|s| s.replayed_txns))
+        .sum();
+    writeln!(
+        out,
+        "recovery drill: resolved epoch {} in {:.1}ms, {replayed} txn(s) replayed, state matches live",
+        rec.resolved_epoch,
+        drill.as_secs_f64() * 1e3,
+    )
+    .expect("write to string");
+
+    if verify {
+        memory
+            .memory()
+            .verify_all()
+            .map_err(|e| err(format!("serve verification failed: {e}")))?;
+        writeln!(out, "verify: all shard subtrees verified").expect("write to string");
+    }
+
+    if let Some(path) = flags.get("metrics") {
+        let mut registry = morphtree_core::obs::MetricsRegistry::new();
+        registry.counter_set("serve.ops", served as u64);
+        registry.counter_set("serve.threads", threads as u64);
+        registry.counter_set("serve.shards", shards as u64);
+        registry.counter_set("serve.recombines", memory.recombines());
+        registry.counter_set("serve.epochs", memory.epoch());
+        registry.counter_set("serve.epoch_ops", epoch_ops);
+        registry.counter_set("serve.recovery_replayed_txns", replayed as u64);
+        registry.gauge_set("serve.ops_per_sec", Some(ops_per_sec));
+        registry.gauge_set("serve.recovery_drill_ms", Some(drill.as_secs_f64() * 1e3));
+        crate::metrics::write_metrics(path, &registry)?;
+        writeln!(out, "metrics written to {path}").expect("write to string");
+    }
+
+    writeln!(
+        out,
+        "serve complete: {served} ops on {threads} thread(s) x {shards} shard(s), root intact",
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +411,8 @@ mod tests {
         assert!(serve(&["--threads", "0"]).is_err());
         // More shards than data lines: 4 MiB = 65536 lines, ask for more.
         assert!(serve(&["--threads", "1", "--shards", "99999999", "--memory-mib", "1"]).is_err());
+        // Persisting state without epoch mode has nothing to persist.
+        assert!(serve(&["--state-out", "/tmp/x"]).is_err());
     }
 
     #[test]
@@ -234,5 +427,53 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(json.contains("serve.ops"), "{json}");
         assert!(json.contains("serve.ops_per_sec"), "{json}");
+    }
+
+    #[test]
+    fn serve_epoch_mode_seals_and_drills_recovery() {
+        let out = serve(&[
+            "--threads", "2", "--ops", "3000", "--memory-mib", "4", "--batch", "500",
+            "--epoch-ops", "1000",
+        ])
+        .unwrap();
+        assert!(out.contains("epoch every 1000 ops"), "{out}");
+        assert!(out.contains("epochs sealed 3"), "{out}");
+        assert!(out.contains("recovery drill: resolved epoch"), "{out}");
+        assert!(out.contains("state matches live"), "{out}");
+        assert!(out.contains("serve complete: 3000 ops on 2 thread(s) x 2 shard(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_epoch_root_matches_plain_mode() {
+        // Epoch journaling must be invisible to the served state: same
+        // seed, same ops — same combined root as the plain engine.
+        let root_of = |extra: &[&str]| {
+            let mut args =
+                vec!["--threads", "2", "--shards", "2", "--ops", "2000", "--memory-mib", "4"];
+            args.extend_from_slice(extra);
+            let out = serve(&args).unwrap();
+            let at = out.find("root 0x").expect("root in output");
+            out[at..at + 23].to_owned()
+        };
+        assert_eq!(root_of(&[]), root_of(&["--epoch-ops", "512"]));
+    }
+
+    #[test]
+    fn serve_epoch_state_out_writes_recoverable_state() {
+        let dir = std::env::temp_dir().join("morphtree-serve-state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("drill").to_str().unwrap().to_owned();
+        let out = serve(&[
+            "--threads", "2", "--ops", "1500", "--memory-mib", "4", "--batch", "300",
+            "--epoch-ops", "600", "--state-out", &prefix,
+        ])
+        .unwrap();
+        assert!(out.contains("state written to"), "{out}");
+        let container = std::fs::read(format!("{prefix}.mtsh")).unwrap();
+        let wal0 = std::fs::read(format!("{prefix}.shard0.wal")).unwrap();
+        let wal1 = std::fs::read(format!("{prefix}.shard1.wal")).unwrap();
+        let rec = recover_sharded_bounded(&container, &[wal0, wal1]).unwrap();
+        assert_eq!(rec.memory.healthy_shards(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,6 +31,12 @@
 //! assert!(report.all_detected());
 //! ```
 
+pub mod crash;
+
+pub use crash::{
+    run_crash_campaign, CrashCampaignConfig, CrashCampaignError, CrashCampaignReport,
+};
+
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;

@@ -169,6 +169,27 @@ fn top_key(key: [u8; 16]) -> MacKey {
     MacKey::new(seed)
 }
 
+/// Folds a vector of per-shard root digests into the combined top MAC
+/// under the tenant's domain-separated top key: a keyed MAC chain over the
+/// digest vector (eight digests per 64-byte block, each block MACed with
+/// the running value as its counter).
+///
+/// Exposed `pub(crate)` so the epoch persistence layer can compute the
+/// combined root a *partially completed* epoch cut would have pinned,
+/// without mutating any engine state.
+pub(crate) fn fold_digests(key: [u8; 16], digests: &[u64]) -> u64 {
+    let top = top_key(key);
+    let mut acc = 0u64;
+    for (block_idx, chunk) in digests.chunks(8).enumerate() {
+        let mut block = [0u8; CACHELINE_BYTES];
+        for (slot, digest) in chunk.iter().enumerate() {
+            block[slot * 8..slot * 8 + 8].copy_from_slice(&digest.to_le_bytes());
+        }
+        acc = top.mac_line(block_idx as u64 * CACHELINE_BYTES as u64, acc, &block).0;
+    }
+    acc
+}
+
 /// A sharded functional secure memory: `shards` independent
 /// [`SecureMemory`] subtrees over contiguous address ranges, recombined
 /// under one keyed top MAC.
@@ -180,10 +201,10 @@ fn top_key(key: [u8; 16]) -> MacKey {
 #[derive(Debug)]
 pub struct ShardedMemory {
     plan: ShardPlan,
-    /// The tenant key; per-shard keys derive from it (`shard_key`).
+    /// The tenant key; per-shard keys derive from it (`shard_key`), as
+    /// does the domain-separated top key ([`fold_digests`]).
     key: [u8; 16],
     shards: Vec<SecureMemory>,
-    top: MacKey,
     /// Cached per-shard root digests; entry `s` is stale iff `dirty[s]`.
     digests: Vec<u64>,
     dirty: Vec<bool>,
@@ -214,7 +235,6 @@ impl ShardedMemory {
             digests: shards.iter().map(SecureMemory::root_digest).collect(),
             dirty: vec![false; shards.len()],
             shards,
-            top: top_key(key),
             combined_root: 0,
             recombines: 0,
         };
@@ -231,7 +251,6 @@ impl ShardedMemory {
             digests: shards.iter().map(SecureMemory::root_digest).collect(),
             dirty: vec![false; shards.len()],
             shards,
-            top: top_key(key),
             combined_root: 0,
             recombines: 0,
         };
@@ -264,6 +283,23 @@ impl ShardedMemory {
         &self.shards[shard]
     }
 
+    /// Mutable access to one shard's subtree (epoch persistence layer:
+    /// journal harvesting). Callers must not bypass the dirty-bit
+    /// bookkeeping with state mutations.
+    pub(crate) fn shard_mut(&mut self, shard: usize) -> &mut SecureMemory {
+        &mut self.shards[shard]
+    }
+
+    /// Enables mutation journaling on every shard (see
+    /// [`SecureMemory::begin_journal`]); the epoch persistence layer
+    /// harvests the per-shard journals after each batch to derive WAL
+    /// records.
+    pub fn begin_journals(&mut self) {
+        for shard in &mut self.shards {
+            shard.begin_journal();
+        }
+    }
+
     /// How many coalesced top-root recombinations have run. A batch of any
     /// size costs at most one — the coalescing the tests assert.
     #[must_use]
@@ -271,19 +307,10 @@ impl ShardedMemory {
         self.recombines
     }
 
-    /// Folds the cached per-shard digests into the combined root MAC:
-    /// a keyed MAC chain over the digest vector (eight digests per 64-byte
-    /// block, each block MACed with the running value as its counter).
+    /// Folds the cached per-shard digests into the combined root MAC (see
+    /// [`fold_digests`] for the chain construction).
     fn fold_top(&mut self) {
-        let mut acc = 0u64;
-        for (block_idx, chunk) in self.digests.chunks(8).enumerate() {
-            let mut block = [0u8; CACHELINE_BYTES];
-            for (slot, digest) in chunk.iter().enumerate() {
-                block[slot * 8..slot * 8 + 8].copy_from_slice(&digest.to_le_bytes());
-            }
-            acc = self.top.mac_line(block_idx as u64 * CACHELINE_BYTES as u64, acc, &block).0;
-        }
-        self.combined_root = acc;
+        self.combined_root = fold_digests(self.key, &self.digests);
         self.recombines += 1;
     }
 
@@ -418,6 +445,20 @@ impl ShardedMemory {
     /// batch needs no locks; per-shard program order is preserved by the
     /// FIFO queues, which is the only order that affects final state.
     pub fn run_batch(&mut self, ops: &[Op], threads: usize) -> Vec<OpOutcome> {
+        let outcomes = self.run_batch_deferred(ops, threads);
+        self.recombine();
+        outcomes
+    }
+
+    /// [`ShardedMemory::run_batch`] without the trailing recombine: dirtied
+    /// shards stay marked and the top root stays stale until the next
+    /// [`ShardedMemory::recombine`] / [`ShardedMemory::combined_root`].
+    ///
+    /// This is the epoch-mode entry point: the epoch persistence layer
+    /// batches cross-shard top recombination once per *epoch* instead of
+    /// once per batch, so many batches share a single top fold at the
+    /// epoch cut.
+    pub fn run_batch_deferred(&mut self, ops: &[Op], threads: usize) -> Vec<OpOutcome> {
         let mut queues = self.enqueue(ops);
         let shard_count = self.plan.shards();
         let workers = threads.clamp(1, shard_count);
@@ -467,7 +508,6 @@ impl ShardedMemory {
             })
         };
 
-        self.recombine();
         Self::scatter(ops.len(), results)
     }
 

@@ -43,6 +43,7 @@ mod plan;
 mod queue;
 
 pub use engine::{Op, OpOutcome, ShardedEngine, ShardedMemory};
+pub(crate) use engine::fold_digests;
 pub use plan::ShardPlan;
 pub use queue::{InterleaveSchedule, ShardQueues};
 

@@ -57,10 +57,16 @@ use crate::CACHELINE_BYTES;
 
 pub mod codec;
 pub mod engine;
+pub mod epoch;
 pub mod wal;
 
 use codec::{fnv1a, ByteReader, ByteWriter, Truncated};
-pub use wal::{replay, WalRecord, WalTransaction, WalWriter};
+pub use epoch::{
+    recover_bounded, recover_sharded_bounded, DegradedShardedMemory, EpochMemory,
+    EpochSeal, EpochShardedMemory, RecoveryMode, RecoveryStats, SealPhase, ShardRecovery,
+    ShardedRecovery,
+};
+pub use wal::{replay, replay_epochs, SealPoint, WalEpochs, WalRecord, WalTransaction, WalWriter};
 
 /// Snapshot file magic (`MTSN` = MorphTree SNapshot).
 pub const MAGIC: [u8; 4] = *b"MTSN";
@@ -152,6 +158,28 @@ pub enum RecoveryError {
         /// Index of the offending shard.
         shard: usize,
     },
+    /// An epoch-seal record is structurally invalid: bad phase code,
+    /// checksum mismatch, or trailing bytes. (A seal whose *MAC* fails is
+    /// not an error — bounded recovery degrades to full verification or
+    /// quarantine instead; see [`epoch`].)
+    CorruptSeal {
+        /// Byte offset of the offending field within the seal image.
+        offset: usize,
+    },
+    /// A sharded bounded recovery was handed the wrong number of per-shard
+    /// WALs for the container's declared partition.
+    ShardWalCount {
+        /// Shards the container declares.
+        expected: usize,
+        /// WALs the caller supplied.
+        got: usize,
+    },
+    /// The addressed shard failed recovery and is quarantined: reads and
+    /// writes on it refuse while the remaining shards keep serving.
+    ShardQuarantined {
+        /// Index of the quarantined shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -190,6 +218,15 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::ShardMismatch { shard } => {
                 write!(f, "shard {shard} snapshot disagrees with the sharded header")
+            }
+            RecoveryError::CorruptSeal { offset } => {
+                write!(f, "corrupt epoch seal at byte {offset}")
+            }
+            RecoveryError::ShardWalCount { expected, got } => {
+                write!(f, "sharded recovery needs {expected} per-shard WALs, got {got}")
+            }
+            RecoveryError::ShardQuarantined { shard } => {
+                write!(f, "shard {shard} is quarantined after failed recovery")
             }
         }
     }
@@ -473,38 +510,58 @@ pub fn load_memory(bytes: &[u8]) -> Result<SecureMemory, RecoveryError> {
 pub fn recover(snapshot: &[u8], wal_bytes: &[u8]) -> Result<SecureMemory, RecoveryError> {
     let mut mem = load_memory(snapshot)?;
     for txn in wal::replay(wal_bytes)? {
-        for record in txn.records {
-            match record {
-                WalRecord::DataLine { line, ciphertext, mac } => {
-                    if line >= mem.geometry().data_lines() {
-                        return Err(RecoveryError::DataLineOutOfRange { line });
-                    }
-                    mem.restore_data_line(line, ciphertext, mac);
-                }
-                WalRecord::CounterLine { level, line_idx, image } => {
-                    let level = level as usize;
-                    let level_lines = mem
-                        .geometry()
-                        .levels()
-                        .get(level)
-                        .map(|l| l.lines)
-                        .unwrap_or(0);
-                    if line_idx >= level_lines {
-                        return Err(RecoveryError::CounterLineOutOfRange { level, line_idx });
-                    }
-                    mem.restore_counter_line(level, line_idx, &image)
-                        .map_err(RecoveryError::MalformedLine)?;
-                }
-                // `wal::replay` consumes transaction boundaries; committed
-                // transactions carry only mutation records.
-                WalRecord::Begin { .. } | WalRecord::Commit { .. } => {
-                    unreachable!("replay strips transaction boundaries")
-                }
-            }
-        }
+        apply_wal_txn(&mut mem, &txn)?;
     }
     mem.verify_all().map_err(RecoveryError::Integrity)?;
     Ok(mem)
+}
+
+/// Applies one committed WAL transaction's post-images to `mem`.
+///
+/// # Errors
+///
+/// Range errors for records outside the geometry and
+/// [`RecoveryError::MalformedLine`] for undecodable counter images.
+pub(crate) fn apply_wal_txn(
+    mem: &mut SecureMemory,
+    txn: &WalTransaction,
+) -> Result<(), RecoveryError> {
+    for record in &txn.records {
+        match record {
+            WalRecord::DataLine { line, ciphertext, mac } => {
+                let line = *line;
+                if line >= mem.geometry().data_lines() {
+                    return Err(RecoveryError::DataLineOutOfRange { line });
+                }
+                mem.restore_data_line(line, *ciphertext, *mac);
+            }
+            WalRecord::CounterLine { level, line_idx, image } => {
+                let level = *level as usize;
+                let line_idx = *line_idx;
+                let level_lines = mem
+                    .geometry()
+                    .levels()
+                    .get(level)
+                    .map(|l| l.lines)
+                    .unwrap_or(0);
+                if line_idx >= level_lines {
+                    return Err(RecoveryError::CounterLineOutOfRange { level, line_idx });
+                }
+                mem.restore_counter_line(level, line_idx, image)
+                    .map_err(RecoveryError::MalformedLine)?;
+            }
+            WalRecord::Stats { reencryptions } => {
+                mem.set_reencryptions(*reencryptions);
+            }
+            // `wal::replay` consumes transaction boundaries and hoists seals
+            // out of the transaction stream; committed transactions carry
+            // only mutation records.
+            WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Seal(_) => {
+                unreachable!("replay strips transaction boundaries")
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Serializes a sharded memory as an `MTSH` container: a checksummed
@@ -547,6 +604,29 @@ pub fn save_sharded(memory: &ShardedMemory) -> Vec<u8> {
 /// and [`RecoveryError::Integrity`] when a restored shard fails MAC
 /// verification. Never panics, never returns a partially-blended state.
 pub fn recover_sharded(bytes: &[u8]) -> Result<ShardedMemory, RecoveryError> {
+    let (plan, key, sections) = parse_sharded(bytes)?;
+    let mut shards = Vec::with_capacity(plan.shards());
+    for (shard, section) in sections.iter().enumerate() {
+        let restored = load_memory(section)?;
+        if restored.geometry().memory_bytes() != plan.shard_memory_bytes(shard)
+            || restored.key() != ShardedMemory::derived_key(key, shard)
+        {
+            return Err(RecoveryError::ShardMismatch { shard });
+        }
+        restored.verify_all().map_err(RecoveryError::Integrity)?;
+        shards.push(restored);
+    }
+    Ok(ShardedMemory::from_parts(plan, key, shards))
+}
+
+/// Parsed `MTSH` framing: partition plan, tenant key, and the raw
+/// per-shard snapshot payloads (not yet decoded).
+pub(crate) type ParsedShards<'a> = (ShardPlan, [u8; 16], Vec<&'a [u8]>);
+
+/// Parses an `MTSH` container's framing: validates the header and section
+/// checksums and returns the partition plan, tenant key, and the raw
+/// per-shard snapshot payloads (not yet decoded).
+pub(crate) fn parse_sharded(bytes: &[u8]) -> Result<ParsedShards<'_>, RecoveryError> {
     let mut r = ByteReader::new(bytes);
     if r.bytes(4).map_err(|_| RecoveryError::BadMagic)? != MAGIC_SHARDED {
         return Err(RecoveryError::BadMagic);
@@ -570,21 +650,75 @@ pub fn recover_sharded(bytes: &[u8]) -> Result<ShardedMemory, RecoveryError> {
     }
     let plan = ShardPlan::new(memory_bytes, shard_count).map_err(RecoveryError::ShardPlan)?;
 
-    let mut shards = Vec::with_capacity(plan.shards());
-    for shard in 0..plan.shards() {
+    let mut sections = Vec::with_capacity(plan.shards());
+    for _ in 0..plan.shards() {
         let mut sec = read_section(&mut r, SEC_SHARD)?;
         let len = sec.remaining();
-        let restored = load_memory(sec.bytes(len)?)?;
-        if restored.geometry().memory_bytes() != plan.shard_memory_bytes(shard)
-            || restored.key() != ShardedMemory::derived_key(key, shard)
-        {
-            return Err(RecoveryError::ShardMismatch { shard });
-        }
-        restored.verify_all().map_err(RecoveryError::Integrity)?;
-        shards.push(restored);
+        sections.push(sec.bytes(len)?);
     }
     expect_exhausted(&r)?;
-    Ok(ShardedMemory::from_parts(plan, key, shards))
+    Ok((plan, key, sections))
+}
+
+/// Per-shard outcome of [`verify_shards`]: what the shard claims to be and
+/// whether its restored subtree proved out.
+#[derive(Debug, Clone)]
+pub struct ShardVerifyReport {
+    /// Shard index within the container.
+    pub shard: usize,
+    /// Protected bytes the shard's snapshot declares.
+    pub memory_bytes: u64,
+    /// Tree levels in the shard's geometry (0 when the snapshot failed to
+    /// load at all).
+    pub levels: usize,
+    /// Subtree root digest after restore (`None` when the shard failed).
+    pub root_digest: Option<u64>,
+    /// `Ok(())` when the shard loaded, matched the header's partition, and
+    /// passed full bottom-up verification; the typed failure otherwise.
+    pub status: Result<(), RecoveryError>,
+}
+
+/// Verifies every shard of an `MTSH` container independently, reporting
+/// per-shard results instead of stopping at the first failure.
+///
+/// # Errors
+///
+/// Container-level framing problems (bad magic, truncation, checksums, an
+/// impossible header) are fatal and returned as `Err`; per-shard failures
+/// are captured in each report's `status`.
+pub fn verify_shards(bytes: &[u8]) -> Result<Vec<ShardVerifyReport>, RecoveryError> {
+    let (plan, key, sections) = parse_sharded(bytes)?;
+    let mut reports = Vec::with_capacity(plan.shards());
+    for (shard, section) in sections.iter().enumerate() {
+        let report = match load_memory(section) {
+            Err(err) => ShardVerifyReport {
+                shard,
+                memory_bytes: plan.shard_memory_bytes(shard),
+                levels: 0,
+                root_digest: None,
+                status: Err(err),
+            },
+            Ok(restored) => {
+                let status = if restored.geometry().memory_bytes()
+                    != plan.shard_memory_bytes(shard)
+                    || restored.key() != ShardedMemory::derived_key(key, shard)
+                {
+                    Err(RecoveryError::ShardMismatch { shard })
+                } else {
+                    restored.verify_all().map_err(RecoveryError::Integrity)
+                };
+                ShardVerifyReport {
+                    shard,
+                    memory_bytes: restored.geometry().memory_bytes(),
+                    levels: restored.geometry().levels().len(),
+                    root_digest: status.is_ok().then(|| restored.root_digest()),
+                    status,
+                }
+            }
+        };
+        reports.push(report);
+    }
+    Ok(reports)
 }
 
 /// A [`SecureMemory`] whose writes are journaled to a WAL as committed

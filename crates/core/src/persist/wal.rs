@@ -38,6 +38,7 @@
 //! typed error — never a panic, never silent divergence.
 
 use crate::persist::codec::{fnv1a, ByteReader, ByteWriter};
+use crate::persist::epoch::{EpochSeal, SealPhase};
 use crate::persist::RecoveryError;
 use crate::CACHELINE_BYTES;
 
@@ -45,6 +46,8 @@ const KIND_BEGIN: u8 = 1;
 const KIND_DATA_LINE: u8 = 2;
 const KIND_COUNTER_LINE: u8 = 3;
 const KIND_COMMIT: u8 = 4;
+const KIND_SEAL: u8 = 5;
+const KIND_STATS: u8 = 6;
 
 /// One logged metadata mutation (or transaction boundary).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +80,19 @@ pub enum WalRecord {
         /// Must match the open transaction's `seq`.
         seq: u64,
     },
+    /// An epoch boundary: durably pins the subtree root (and, for
+    /// commit-phase seals, the cross-shard combined root) so recovery can
+    /// anchor on it instead of re-verifying history. Seals live *between*
+    /// transactions; a seal inside an open transaction is corruption.
+    Seal(EpochSeal),
+    /// Post-image of engine statistics that replaying line images cannot
+    /// reconstruct (a counter-overflow reencryption rewrites a whole line
+    /// group *and* bumps a monotonic counter the snapshot serializes).
+    /// Logged inside the transaction whose writes changed the value.
+    Stats {
+        /// Total line-group reencryptions performed so far.
+        reencryptions: u64,
+    },
 }
 
 impl WalRecord {
@@ -103,6 +119,14 @@ impl WalRecord {
                 w.u8(KIND_COMMIT);
                 w.u64(*seq);
             }
+            WalRecord::Seal(seal) => {
+                w.u8(KIND_SEAL);
+                w.bytes(&seal.encode());
+            }
+            WalRecord::Stats { reencryptions } => {
+                w.u8(KIND_STATS);
+                w.u64(*reencryptions);
+            }
         }
         w.into_bytes()
     }
@@ -124,6 +148,11 @@ impl WalRecord {
                 image: r.line().ok()?,
             },
             KIND_COMMIT => WalRecord::Commit { seq: r.u64().ok()? },
+            KIND_SEAL => {
+                let body = r.bytes(EpochSeal::ENCODED_LEN).ok()?;
+                WalRecord::Seal(EpochSeal::decode(body).ok()?)
+            }
+            KIND_STATS => WalRecord::Stats { reencryptions: r.u64().ok()? },
             _ => return None,
         };
         r.is_exhausted().then_some(record)
@@ -185,11 +214,33 @@ pub struct WalTransaction {
     pub records: Vec<WalRecord>,
 }
 
+/// A seal's position within the committed-transaction stream: the seal
+/// covers (pins the state after) the first `txns_before` committed
+/// transactions of the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealPoint {
+    /// Number of committed transactions preceding the seal.
+    pub txns_before: usize,
+    /// The seal record itself.
+    pub seal: EpochSeal,
+}
+
+/// An epoch-aware replay: the committed transactions plus every seal
+/// record and its position.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalEpochs {
+    /// Committed transactions, in order (exactly what [`replay`] returns).
+    pub txns: Vec<WalTransaction>,
+    /// Seal records, in log order, with their transaction positions.
+    pub seals: Vec<SealPoint>,
+}
+
 /// Replays `bytes`, returning the committed transactions in order.
 ///
 /// Accepts any byte prefix of a valid log (see the module docs for the
 /// torn-write rules); a torn tail and a trailing uncommitted transaction
-/// are silently discarded.
+/// are silently discarded. Epoch seals are validated structurally and
+/// dropped; use [`replay_epochs`] to observe them.
 ///
 /// # Errors
 ///
@@ -197,7 +248,27 @@ pub struct WalTransaction {
 /// checksum-invalid, malformed, or structurally out of place — corruption
 /// that truncation alone cannot produce.
 pub fn replay(bytes: &[u8]) -> Result<Vec<WalTransaction>, RecoveryError> {
+    Ok(replay_epochs(bytes)?.txns)
+}
+
+/// Replays `bytes` like [`replay`], additionally returning every epoch
+/// seal with its position in the committed-transaction stream.
+///
+/// Structural rules for seals, on top of the module's torn-write rules:
+/// a seal inside an open transaction is corruption, and seal ordering must
+/// be strictly monotonic — each seal's epoch must exceed the previous
+/// seal's, except that a commit-phase seal may follow the prepare-phase
+/// seal of the *same* epoch (the two-phase cut). Seal MACs are *not*
+/// checked here (replay is keyless); the bounded recovery path
+/// authenticates the anchoring seal against the restored memory's key.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError::CorruptWal`] under the same rules as
+/// [`replay`], including seal-ordering violations.
+pub fn replay_epochs(bytes: &[u8]) -> Result<WalEpochs, RecoveryError> {
     let mut committed = Vec::new();
+    let mut seals: Vec<SealPoint> = Vec::new();
     let mut open: Option<WalTransaction> = None;
     let mut last_seq: Option<u64> = None;
     let mut pos = 0usize;
@@ -246,6 +317,26 @@ pub fn replay(bytes: &[u8]) -> Result<Vec<WalTransaction>, RecoveryError> {
             (WalRecord::Commit { .. }, _) => {
                 return Err(RecoveryError::CorruptWal { offset: pos });
             }
+            (WalRecord::Seal(seal), None) => {
+                // Strictly monotonic per log: epochs increase, with the
+                // one sanctioned same-epoch step Prepare -> Commit.
+                let ordered = match seals.last() {
+                    None => true,
+                    Some(prev) => {
+                        seal.epoch > prev.seal.epoch
+                            || (seal.epoch == prev.seal.epoch
+                                && prev.seal.phase == SealPhase::Prepare
+                                && seal.phase == SealPhase::Commit)
+                    }
+                };
+                if !ordered {
+                    return Err(RecoveryError::CorruptWal { offset: pos });
+                }
+                seals.push(SealPoint { txns_before: committed.len(), seal });
+            }
+            (WalRecord::Seal(_), Some(_)) => {
+                return Err(RecoveryError::CorruptWal { offset: pos });
+            }
             (record, Some(txn)) => txn.records.push(record),
             (_, None) => {
                 return Err(RecoveryError::CorruptWal { offset: pos });
@@ -254,7 +345,7 @@ pub fn replay(bytes: &[u8]) -> Result<Vec<WalTransaction>, RecoveryError> {
         pos += total;
     }
     // An open transaction at the tail never committed: discard it.
-    Ok(committed)
+    Ok(WalEpochs { txns: committed, seals })
 }
 
 #[cfg(test)]

@@ -1,0 +1,142 @@
+//! Property tests for the epoch-seal codec and the WAL's seal-ordering
+//! contract (`core::persist::epoch`): seals round-trip byte-exactly,
+//! every truncation or byte flip is a *typed* refusal, forged MACs never
+//! verify, and a WAL only replays when its seal sequence is strictly
+//! monotonic per the two-phase cut protocol.
+
+use proptest::prelude::*;
+
+use morphtree_core::persist::{
+    replay_epochs, EpochSeal, RecoveryError, SealPhase, WalRecord, WalWriter,
+};
+
+fn phase_of(bit: bool) -> SealPhase {
+    if bit {
+        SealPhase::Commit
+    } else {
+        SealPhase::Prepare
+    }
+}
+
+/// The WAL's acceptance rule for a seal following `prev`: a strictly
+/// higher epoch, or the same epoch's Prepare→Commit transition.
+fn ordered(prev: (u64, SealPhase), next: (u64, SealPhase)) -> bool {
+    next.0 > prev.0
+        || (next.0 == prev.0 && prev.1 == SealPhase::Prepare && next.1 == SealPhase::Commit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encode → decode is the identity, the decoded seal verifies under
+    /// its minting key, and a different key refuses it.
+    #[test]
+    fn seals_round_trip_and_macs_are_keyed(
+        key_lo in any::<u64>(),
+        key_hi in any::<u64>(),
+        epoch in any::<u64>(),
+        commit in any::<bool>(),
+        root in any::<u64>(),
+        combined in any::<u64>(),
+    ) {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&key_lo.to_le_bytes());
+        key[8..].copy_from_slice(&key_hi.to_le_bytes());
+        let seal = EpochSeal::new(key, epoch, phase_of(commit), root, combined);
+        let decoded = EpochSeal::decode(&seal.encode()).unwrap();
+        prop_assert_eq!(decoded, seal);
+        prop_assert!(decoded.verify(key));
+
+        let mut other = key;
+        other[3] ^= 0x01;
+        prop_assert!(!decoded.verify(other), "seal verified under a foreign key");
+    }
+
+    /// Every strict prefix of an encoded seal is refused as truncated —
+    /// never a panic, never a partial decode.
+    #[test]
+    fn truncated_seals_are_typed_refusals(
+        epoch in any::<u64>(),
+        commit in any::<bool>(),
+        cut in 0usize..EpochSeal::ENCODED_LEN,
+    ) {
+        let seal = EpochSeal::new([0x3c; 16], epoch, phase_of(commit), 7, 11);
+        let bytes = seal.encode();
+        match EpochSeal::decode(&bytes[..cut]) {
+            Err(RecoveryError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "cut {}: wrong error {}", cut, other),
+            Ok(_) => prop_assert!(false, "cut {}: truncated seal decoded", cut),
+        }
+    }
+
+    /// Any single-byte flip anywhere in the image is caught by the
+    /// trailing checksum (or the phase code) as a typed corruption error.
+    #[test]
+    fn flipped_seals_are_typed_refusals(
+        epoch in any::<u64>(),
+        root in any::<u64>(),
+        at in 0usize..EpochSeal::ENCODED_LEN,
+        bit in 0u32..8,
+    ) {
+        let seal = EpochSeal::new([0x3c; 16], epoch, SealPhase::Commit, root, root);
+        let mut bytes = seal.encode();
+        bytes[at] ^= 1u8 << bit;
+        match EpochSeal::decode(&bytes) {
+            Err(RecoveryError::CorruptSeal { .. }) => {}
+            Err(other) => prop_assert!(false, "flip at {}: wrong error {}", at, other),
+            Ok(_) => prop_assert!(false, "flip at {} bit {} decoded cleanly", at, bit),
+        }
+    }
+
+    /// A WAL accepts a seal sequence iff every adjacent pair is strictly
+    /// monotonic (epoch strictly rises, or Prepare→Commit within one
+    /// epoch): regressions, repeats, and Commit→Prepare within an epoch
+    /// are all `CorruptWal`.
+    #[test]
+    fn seal_ordering_is_strictly_monotonic(
+        raw in proptest::collection::vec((0u64..5, any::<bool>()), 1..8),
+    ) {
+        let seals: Vec<(u64, SealPhase)> =
+            raw.into_iter().map(|(e, c)| (e, phase_of(c))).collect();
+        let mut wal = WalWriter::new();
+        for &(epoch, phase) in &seals {
+            wal.append(&WalRecord::Seal(EpochSeal::new([0x3c; 16], epoch, phase, 1, 2)));
+        }
+        let valid = seals.windows(2).all(|w| ordered(w[0], w[1]));
+        match replay_epochs(wal.bytes()) {
+            Ok(epochs) => {
+                prop_assert!(valid, "out-of-order seals {:?} replayed", seals);
+                prop_assert_eq!(epochs.seals.len(), seals.len());
+                for (point, &(epoch, phase)) in epochs.seals.iter().zip(&seals) {
+                    prop_assert_eq!(point.seal.epoch, epoch);
+                    prop_assert_eq!(point.seal.phase, phase);
+                    prop_assert_eq!(point.txns_before, 0);
+                }
+            }
+            Err(RecoveryError::CorruptWal { .. }) => {
+                prop_assert!(!valid, "ordered seals {:?} refused", seals);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+}
+
+/// The exact boundary cases of the ordering rule, pinned deterministically
+/// alongside the property sweep.
+#[test]
+fn seal_ordering_boundary_cases() {
+    let accepts = |seq: &[(u64, SealPhase)]| {
+        let mut wal = WalWriter::new();
+        for &(epoch, phase) in seq {
+            wal.append(&WalRecord::Seal(EpochSeal::new([0x3c; 16], epoch, phase, 1, 2)));
+        }
+        replay_epochs(wal.bytes()).is_ok()
+    };
+    use SealPhase::{Commit, Prepare};
+    assert!(accepts(&[(1, Prepare), (1, Commit)]), "two-phase cut");
+    assert!(accepts(&[(1, Commit), (2, Prepare), (2, Commit)]), "steady state");
+    assert!(accepts(&[(1, Prepare), (2, Prepare)]), "prepare-only epochs rise");
+    assert!(!accepts(&[(1, Commit), (1, Commit)]), "repeated commit");
+    assert!(!accepts(&[(1, Commit), (1, Prepare)]), "commit then prepare");
+    assert!(!accepts(&[(2, Commit), (1, Commit)]), "epoch regression");
+}

@@ -7,10 +7,11 @@
 
 use proptest::prelude::*;
 
-use morphtree_core::concurrent::ShardedMemory;
+use morphtree_core::concurrent::{Op, ShardedMemory};
 use morphtree_core::functional::SecureMemory;
 use morphtree_core::persist::{
-    recover, recover_sharded, replay, save_memory, save_sharded, PersistentMemory, RecoveryError,
+    recover, recover_sharded, recover_sharded_bounded, replay, save_memory, save_sharded,
+    EpochShardedMemory, PersistentMemory, RecoveryError,
 };
 use morphtree_core::tree::TreeConfig;
 
@@ -113,6 +114,81 @@ fn every_sharded_truncation_refuses_typed() {
     }
 }
 
+/// Shared durable state for the epoch proptest sweep: the sealed MTSH
+/// container, the per-shard WALs, and per-shard MTSN snapshots for the
+/// serial oracle.
+type EpochScenarioState = (Vec<u8>, Vec<Vec<u8>>, Vec<Vec<u8>>);
+
+/// A scripted epoch-sharded crash scenario: two shards driven through a
+/// cut (so the WALs hold real seals) plus an open epoch of writes.
+/// Returns the live memory; its `sealed_container()`/`wals()` are the
+/// durable state every kill point truncates.
+fn epoch_scenario() -> EpochShardedMemory {
+    // 256 KiB keeps the full-replay oracle (which verifies every line)
+    // fast enough for an exhaustive byte sweep.
+    let mut memory =
+        EpochShardedMemory::new(TreeConfig::morphtree(), 1 << 18, [0x77; 16], 2, 0).unwrap();
+    let lines = memory.plan().data_lines();
+    // Strided lines land in both shards.
+    let write = |i: u64| Op::Write { line: (i * 521 + 7) % lines, data: [i as u8 ^ 0x42; 64] };
+    // Epoch 1's history: folded into the sealed container at the cut.
+    let ops: Vec<Op> = (0..4).map(write).collect();
+    memory.run_batch(&ops, 2);
+    memory.cut();
+    // The open epoch: present only in the per-shard WALs.
+    let ops: Vec<Op> = (4..8).map(write).collect();
+    memory.run_batch(&ops, 2);
+    memory
+}
+
+/// Exhaustive kill-offset sweep over the sharded epoch state: a crash at
+/// *any* byte offset of the per-shard WALs (every shard truncated at the
+/// same log time, modeling ordered appends) recovers every shard to the
+/// exact state the full-replay oracle derives from the same bytes —
+/// consistent epoch, no quarantine, no panic, no silent divergence.
+#[test]
+fn every_sharded_kill_point_recovers_consistently() {
+    let memory = epoch_scenario();
+    let container = memory.sealed_container();
+    let wals = memory.wals();
+    let live_epoch = memory.epoch();
+    let longest = wals.iter().map(Vec::len).max().unwrap();
+    assert!(longest > 0, "scenario produced no WAL traffic");
+
+    // The sealed container, re-expressed as one plain MTSN snapshot per
+    // shard: `recover(snapshot, wal)` on these is the pre-epoch
+    // full-replay oracle for each shard.
+    let sealed = recover_sharded(&container).unwrap();
+    let shard_snapshots: Vec<Vec<u8>> =
+        (0..wals.len()).map(|s| save_memory(sealed.shard(s))).collect();
+
+    for cut in 0..=longest {
+        let torn: Vec<Vec<u8>> =
+            wals.iter().map(|w| w[..cut.min(w.len())].to_vec()).collect();
+        let rec = recover_sharded_bounded(&container, &torn)
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery refused a torn log: {e}"));
+        assert_eq!(
+            rec.memory.healthy_shards(),
+            wals.len(),
+            "cut {cut}: a torn tail must never quarantine"
+        );
+        assert!(
+            rec.resolved_epoch <= live_epoch,
+            "cut {cut}: resolved epoch {} beyond the live {live_epoch}",
+            rec.resolved_epoch
+        );
+        for (shard, wal) in torn.iter().enumerate() {
+            let oracle = recover(&shard_snapshots[shard], wal)
+                .unwrap_or_else(|e| panic!("cut {cut}: oracle refused shard {shard}: {e}"));
+            assert_eq!(
+                save_memory(rec.memory.shard(shard)),
+                save_memory(&oracle),
+                "cut {cut}: shard {shard} diverged from the full-replay oracle"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -144,6 +220,70 @@ proptest! {
             }
             Err(err) => {
                 let _ = err.to_string(); // diagnosis must render, not panic
+            }
+        }
+    }
+
+    /// Sharded epoch crashes with *independent* per-shard kill offsets
+    /// plus one flipped bit: every healthy shard must match the
+    /// full-replay oracle on the same bytes, and a shard that refuses
+    /// must refuse identically on both paths — quarantine is typed,
+    /// divergence is forbidden, panics are forbidden.
+    #[test]
+    fn sharded_epoch_crashes_never_diverge_silently(
+        cut0 in any::<u64>(),
+        cut1 in any::<u64>(),
+        flip_sel in any::<u64>(),
+        bit in 0u32..8,
+        flip_shard in 0usize..2,
+    ) {
+        use std::sync::OnceLock;
+        // The scenario is deterministic; build it once for the whole sweep.
+        static STATE: OnceLock<EpochScenarioState> = OnceLock::new();
+        let (container, wals, snapshots) = STATE.get_or_init(|| {
+            let memory = epoch_scenario();
+            let container = memory.sealed_container();
+            let wals = memory.wals();
+            let sealed = recover_sharded(&container).unwrap();
+            let snapshots =
+                (0..wals.len()).map(|s| save_memory(sealed.shard(s))).collect();
+            (container, wals, snapshots)
+        });
+
+        let cuts = [cut0 as usize % (wals[0].len() + 1), cut1 as usize % (wals[1].len() + 1)];
+        let mut torn: Vec<Vec<u8>> =
+            wals.iter().zip(cuts).map(|(w, c)| w[..c].to_vec()).collect();
+        if !torn[flip_shard].is_empty() {
+            let flip = flip_sel as usize % torn[flip_shard].len();
+            torn[flip_shard][flip] ^= 1u8 << bit;
+        }
+
+        let rec = recover_sharded_bounded(container, &torn).unwrap();
+        for shard_rec in &rec.shards {
+            let shard = shard_rec.shard;
+            let oracle = recover(&snapshots[shard], &torn[shard]);
+            match (&shard_rec.outcome, oracle) {
+                (Ok(_), Ok(oracle)) => prop_assert_eq!(
+                    save_memory(rec.memory.shard(shard)),
+                    save_memory(&oracle),
+                    "shard {} (cuts {:?}): bounded and full recovery disagree",
+                    shard, cuts
+                ),
+                (Err(bounded), Err(full)) => {
+                    // Both paths refuse; both diagnoses must render.
+                    let _ = (bounded.to_string(), full.to_string());
+                    prop_assert!(rec.memory.read(0).is_err() || shard != 0);
+                }
+                (Ok(_), Err(full)) => prop_assert!(
+                    false,
+                    "shard {} accepted what the oracle refused: {}",
+                    shard, full
+                ),
+                (Err(bounded), Ok(_)) => prop_assert!(
+                    false,
+                    "shard {} refused what the oracle accepted: {}",
+                    shard, bounded
+                ),
             }
         }
     }
