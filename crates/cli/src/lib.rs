@@ -150,6 +150,36 @@ impl Flags {
     }
 }
 
+/// Applies the `--crypto-backend` flag process-wide and returns the
+/// backend every subsequently constructed cipher will use. `auto` (the
+/// default) restores runtime detection; a named backend is validated
+/// against the CPU before being forced, so an impossible request fails
+/// here with the probed feature list instead of panicking mid-benchmark.
+///
+/// # Errors
+///
+/// Errors on unknown backend names and on backends the CPU cannot run.
+pub fn apply_crypto_backend(flags: &Flags) -> Result<morphtree_crypto::AesBackend, CliError> {
+    use morphtree_crypto::{aes, AesBackend};
+    match flags.get_or("crypto-backend", "auto") {
+        "auto" => aes::force_backend(None),
+        name => {
+            let backend = AesBackend::parse(name).ok_or_else(|| {
+                err(format!("unknown --crypto-backend `{name}` (try: auto, scalar, ttable, aesni)"))
+            })?;
+            if !backend.available() {
+                return Err(err(format!(
+                    "--crypto-backend {name} is not available on this CPU \
+                     (probed features: {})",
+                    aes::cpu_features(),
+                )));
+            }
+            aes::force_backend(Some(backend));
+        }
+    }
+    Ok(aes::selected_backend())
+}
+
 /// Resolves a tree configuration by CLI name.
 ///
 /// # Errors
@@ -191,10 +221,12 @@ pub fn usage() -> String {
      \x20           [--memory-kib 1024] [--lines 64] [--seed 42]\n\
      \x20 recover   --snapshot FILE [--wal FILE] | --state PREFIX\n\
      \x20 perf      [--out BENCH.json] [--quick 1] [--recovery 1] [--metrics FILE]\n\
+     \x20           [--crypto-backend auto|scalar|ttable|aesni] [--gate BASELINE.json]\n\
      \x20 serve     [--threads 1] [--shards 0=threads] [--ops 100000] [--batch 8192]\n\
      \x20           [--memory-mib 256] [--hot-lines 8192] [--write-pct 80]\n\
      \x20           [--config morph] [--seed 42] [--verify 0] [--metrics FILE]\n\
      \x20           [--epoch-ops 0=off] [--state-out PREFIX]\n\
+     \x20           [--crypto-backend auto|scalar|ttable|aesni]\n\
      \x20 crash-campaign [--seed 42] [--kills 24] [--shards 4] [--threads 2]\n\
      \x20           [--epoch-ops 64] [--batches 12] [--batch-ops 32]\n\
      \x20           [--memory-kib 1024] [--hot-lines 192] [--config morph]\n\
@@ -929,6 +961,28 @@ mod tests {
     fn numbers_accept_underscores() {
         let flags = Flags::parse(&strs(&["--n", "1_000_000"])).unwrap();
         assert_eq!(flags.number_or("n", 0).unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn crypto_backend_flag_validates_names_and_availability() {
+        // `auto` and the always-available software backends resolve; the
+        // selection they produce is process-global, so restore detection
+        // before returning (behavior-neutral either way — every backend
+        // is the same permutation).
+        let flags = Flags::parse(&strs(&["--crypto-backend", "scalar"])).unwrap();
+        assert_eq!(
+            apply_crypto_backend(&flags).unwrap(),
+            morphtree_crypto::AesBackend::Scalar
+        );
+        let flags = Flags::parse(&strs(&["--crypto-backend", "auto"])).unwrap();
+        assert_eq!(
+            apply_crypto_backend(&flags).unwrap(),
+            morphtree_crypto::aes::detected_backend()
+        );
+        let flags = Flags::parse(&strs(&["--crypto-backend", "bogus"])).unwrap();
+        let e = apply_crypto_backend(&flags).unwrap_err();
+        assert!(e.0.contains("unknown --crypto-backend"), "{}", e.0);
+        morphtree_crypto::aes::force_backend(None);
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn engine_metrics(reg: &mut MetricsRegistry, prefix: &str, s: &EngineStats) 
     reg.counter_set(&format!("{prefix}.engine.overflows"), s.total_overflows());
     reg.counter_set(&format!("{prefix}.crypto.otp_ops"), s.otp_ops);
     reg.counter_set(&format!("{prefix}.crypto.mac_ops"), s.mac_ops);
+    reg.counter_set(&format!("{prefix}.crypto.mac_batches"), s.mac_batches);
     reg.histogram_merge(&format!("{prefix}.engine.fetch_depth"), &s.fetch_depths);
 }
 

@@ -104,6 +104,9 @@ fn parse_params(flags: &Flags) -> Result<ServeParams, CliError> {
 /// detect during the `--verify` drill, or (epoch mode) a recovery drill
 /// that did not reproduce the live state.
 pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    // Applied before any shard is constructed: every per-shard cipher
+    // picks up the requested backend (`auto` keeps runtime detection).
+    crate::apply_crypto_backend(flags)?;
     let params = parse_params(flags)?;
     let epoch_ops = flags.number_or("epoch-ops", 0)?;
     if flags.get("state-out").is_some() && epoch_ops == 0 {
@@ -153,8 +156,9 @@ pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     );
     writeln!(
         out,
-        "levels/shard {} | hot lines {hot_lines} | batch {batch} | {write_pct}% writes | seed {seed}",
+        "levels/shard {} | hot lines {hot_lines} | batch {batch} | {write_pct}% writes | seed {seed} | crypto {}",
         memory.shard(0).geometry().top_level() + 1,
+        memory.shard(0).cipher_backend(),
     )
     .expect("write to string");
     writeln!(
@@ -256,8 +260,9 @@ fn serve_epoch(flags: &Flags, params: &ServeParams, epoch_ops: u64) -> Result<St
     );
     writeln!(
         out,
-        "levels/shard {} | hot lines {hot_lines} | batch {batch} | {write_pct}% writes | seed {seed}",
+        "levels/shard {} | hot lines {hot_lines} | batch {batch} | {write_pct}% writes | seed {seed} | crypto {}",
         memory.memory().shard(0).geometry().top_level() + 1,
+        memory.memory().shard(0).cipher_backend(),
     )
     .expect("write to string");
     writeln!(
@@ -404,6 +409,25 @@ mod tests {
         let one = root_of("1");
         assert_eq!(one, root_of("2"));
         assert_eq!(one, root_of("4"));
+    }
+
+    #[test]
+    fn serve_crypto_backend_flag_pins_every_shard() {
+        // The root must not depend on the backend (all backends are the
+        // same permutation), and the report must name the pinned one.
+        let root_of = |out: &str| {
+            let at = out.find("root 0x").expect("root in output");
+            out[at..at + 23].to_owned()
+        };
+        let pinned = serve(&[
+            "--threads", "2", "--ops", "2000", "--memory-mib", "4",
+            "--crypto-backend", "ttable",
+        ])
+        .unwrap();
+        assert!(pinned.contains("crypto ttable"), "{pinned}");
+        let auto = serve(&["--threads", "2", "--ops", "2000", "--memory-mib", "4"]).unwrap();
+        assert_eq!(root_of(&pinned), root_of(&auto));
+        morphtree_crypto::aes::force_backend(None);
     }
 
     #[test]

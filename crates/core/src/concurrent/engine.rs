@@ -404,6 +404,31 @@ impl ShardedMemory {
         Ok(())
     }
 
+    /// Batch-verifies the data MACs and deduplicated counter chains of
+    /// `lines` (global coordinates), routing each line to its owning
+    /// shard and running one batched
+    /// [`SecureMemory::verify_lines`] pass per touched shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] across shards, in shard
+    /// order, with data coordinates globalized.
+    pub fn verify_lines(&self, lines: &[u64]) -> Result<(), IntegrityError> {
+        let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &line in lines {
+            by_shard[self.plan.shard_of(line)].push(self.plan.local_line(line));
+        }
+        for (s, local) in by_shard.iter().enumerate() {
+            if local.is_empty() {
+                continue;
+            }
+            self.shards[s]
+                .verify_lines(local)
+                .map_err(|e| globalize_integrity(&self.plan, s, e))?;
+        }
+        Ok(())
+    }
+
     /// Total overflow re-encryptions across all shards.
     #[must_use]
     pub fn reencryptions(&self) -> u64 {

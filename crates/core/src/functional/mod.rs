@@ -34,7 +34,18 @@
 
 use std::cell::Cell;
 
-use morphtree_crypto::{CtrModeCipher, MacKey};
+use morphtree_crypto::{CtrModeCipher, MacKey, MacTag};
+
+/// Upper bound on integrity-chain depth (levels from data to root). The
+/// deepest evaluated geometry (arity-8 SGX-style counters over a 16 GiB
+/// memory) is under 12 levels; 24 leaves generous headroom and keeps
+/// per-read chain verification allocation-free.
+const MAX_CHAIN: usize = 24;
+
+/// Lines per batched MAC pass in the bulk verifiers — enough to amortize
+/// loop overhead and keep the interleaved SipHash states hot without
+/// oversizing the stack buffers.
+const VERIFY_BATCH: usize = 16;
 
 use crate::counters::morph::MorphLine;
 use crate::counters::split::{SplitConfig, SplitLine};
@@ -201,6 +212,13 @@ impl SecureMemory {
         let mut ops = self.crypto.get();
         f(&mut ops);
         self.crypto.set(ops);
+    }
+
+    /// The AES backend the counter-mode cipher dispatches to (selected
+    /// at construction; see [`morphtree_crypto::aes::selected_backend`]).
+    #[must_use]
+    pub fn cipher_backend(&self) -> morphtree_crypto::AesBackend {
+        self.cipher.backend()
     }
 
     /// The tree geometry in use.
@@ -375,7 +393,9 @@ impl SecureMemory {
             ops.otp_encrypts += 1;
             ops.mac_computes += 1;
         });
-        let ciphertext = self.cipher.encrypt_line(addr, counter, plaintext);
+        let mut ciphertext = [0u8; CACHELINE_BYTES];
+        self.cipher
+            .encrypt_line_into(addr, counter, plaintext, &mut ciphertext);
         let mac = self.mac_key.mac_line(addr, counter, &ciphertext).0;
         self.data.insert(data_line, ciphertext);
         self.data_macs.insert(data_line, mac);
@@ -412,27 +432,194 @@ impl SecureMemory {
         }
         self.verify_chain(data_line)?;
         self.charge(|ops| ops.otp_decrypts += 1);
-        Ok(self.cipher.decrypt_line(addr, counter, ciphertext))
+        let mut plaintext = [0u8; CACHELINE_BYTES];
+        self.cipher
+            .decrypt_line_into(addr, counter, ciphertext, &mut plaintext);
+        Ok(plaintext)
     }
 
     /// Verifies the counter-line MAC chain covering `data_line`.
+    ///
+    /// The chain's lines are collected first and their MACs computed in
+    /// one batched [`MacKey::mac_lines_into`] pass (interleaved SipHash
+    /// states), allocation-free via fixed stack buffers — the chain depth
+    /// is bounded by [`MAX_CHAIN`].
     fn verify_chain(&self, data_line: u64) -> Result<(), IntegrityError> {
+        let mut bodies = [[0u8; 64]; MAX_CHAIN];
+        // (level, line_idx, line addr, parent-counter key, stored MAC).
+        let mut meta = [(0usize, 0u64, 0u64, 0u64, 0u64); MAX_CHAIN];
+        let mut count = 0;
         let mut child = data_line;
         for level in 0..=self.geometry.top_level() {
             let (line_idx, _) = self.geometry.parent_of(level, child);
             if let Some(line) = self.levels[level].get(line_idx) {
-                if level < self.geometry.top_level() {
-                    let body = line.encode_for_mac();
-                    let expect = self.counter_line_mac(level, line_idx, &body);
-                    if line.mac() != expect {
-                        return Err(IntegrityError::CounterMac { level, line_idx });
-                    }
-                }
                 // The root line (level == top) is on-chip: trusted.
+                if level < self.geometry.top_level() {
+                    let (parent_idx, slot) = self.geometry.parent_of(level + 1, line_idx);
+                    let parent_value = self.levels[level + 1]
+                        .get(parent_idx)
+                        .map_or(0, |parent| parent.get(slot));
+                    bodies[count] = line.encode_for_mac();
+                    meta[count] = (
+                        level,
+                        line_idx,
+                        self.geometry.line_addr(level, line_idx),
+                        parent_value,
+                        line.mac(),
+                    );
+                    count += 1;
+                }
             }
             child = line_idx;
         }
+        self.charge(|ops| ops.mac_computes += count as u64);
+        let inputs: [(u64, u64, &[u8; 64]); MAX_CHAIN] =
+            core::array::from_fn(|i| (meta[i].2, meta[i].3, &bodies[i]));
+        let mut tags = [MacTag(0); MAX_CHAIN];
+        self.mac_key
+            .mac_lines_into(&inputs[..count], &mut tags[..count]);
+        for (tag, &(level, line_idx, _, _, stored)) in tags.iter().zip(&meta).take(count) {
+            if stored != tag.0 {
+                return Err(IntegrityError::CounterMac { level, line_idx });
+            }
+        }
         Ok(())
+    }
+
+    /// Batch-verifies the data MACs of `lines` and the MACs of their
+    /// (deduplicated) ancestor counter lines — the bulk form of calling
+    /// [`SecureMemory::read`] per line, minus the useless OTP decrypts:
+    /// the MAC covers the *ciphertext*, so decryption verifies nothing.
+    ///
+    /// Shared ancestors are verified once, not once per descendant, and
+    /// all MACs go through the batched SipHash pass. Bounded recovery's
+    /// touched-line re-verification is the primary caller.
+    ///
+    /// Never-written lines are skipped (they read as zeroes by
+    /// definition, with nothing stored off-chip to verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] found, identifying the
+    /// failing line.
+    pub fn verify_lines(&self, lines: &[u64]) -> Result<(), IntegrityError> {
+        // Data MACs first (cheapest to gather: ciphertexts are borrowed
+        // straight from the store), in batches.
+        let mut batch: Vec<(u64, u64, &[u8; CACHELINE_BYTES])> =
+            Vec::with_capacity(VERIFY_BATCH);
+        let mut addrs: Vec<u64> = Vec::with_capacity(VERIFY_BATCH);
+        let mut tags = [MacTag(0); VERIFY_BATCH];
+        for chunk in lines.chunks(VERIFY_BATCH) {
+            batch.clear();
+            addrs.clear();
+            for &line in chunk {
+                assert!(line < self.geometry.data_lines(), "data line out of range");
+                if let Some(ciphertext) = self.data.get(line) {
+                    let addr = self.data_addr(line);
+                    batch.push((addr, self.counter_of(line), ciphertext));
+                    addrs.push(line);
+                }
+            }
+            self.charge(|ops| ops.mac_computes += batch.len() as u64);
+            self.mac_key.mac_lines_into(&batch, &mut tags[..batch.len()]);
+            for ((tag, &line), &(addr, _, _)) in
+                tags.iter().zip(&addrs).zip(&batch)
+            {
+                let Some(&stored) = self.data_macs.get(line) else {
+                    return Err(IntegrityError::MissingMac { line_addr: addr });
+                };
+                if stored != tag.0 {
+                    return Err(IntegrityError::DataMac { line_addr: addr });
+                }
+            }
+        }
+        // Ancestor counter lines, deduplicated across the whole batch.
+        let chain: Vec<(usize, u64)> = self.chain_lines_of(lines).into_iter().collect();
+        self.verify_counter_batch(&chain)
+    }
+
+    /// Batch-verifies the MACs of the given off-chip counter lines
+    /// (absent lines are skipped), in chunks of [`VERIFY_BATCH`] through
+    /// the interleaved SipHash pass.
+    fn verify_counter_batch(&self, entries: &[(usize, u64)]) -> Result<(), IntegrityError> {
+        let mut bodies = [[0u8; 64]; VERIFY_BATCH];
+        // (level, line_idx, line addr, parent-counter key, stored MAC).
+        let mut meta = [(0usize, 0u64, 0u64, 0u64, 0u64); VERIFY_BATCH];
+        let mut tags = [MacTag(0); VERIFY_BATCH];
+        for chunk in entries.chunks(VERIFY_BATCH) {
+            let mut count = 0;
+            for &(level, line_idx) in chunk {
+                let Some(line) = self.levels[level].get(line_idx) else {
+                    continue;
+                };
+                let parent_value = if level == self.geometry.top_level() {
+                    0
+                } else {
+                    let (parent_idx, slot) = self.geometry.parent_of(level + 1, line_idx);
+                    self.levels[level + 1]
+                        .get(parent_idx)
+                        .map_or(0, |parent| parent.get(slot))
+                };
+                bodies[count] = line.encode_for_mac();
+                meta[count] = (
+                    level,
+                    line_idx,
+                    self.geometry.line_addr(level, line_idx),
+                    parent_value,
+                    line.mac(),
+                );
+                count += 1;
+            }
+            self.charge(|ops| ops.mac_computes += count as u64);
+            let inputs: [(u64, u64, &[u8; 64]); VERIFY_BATCH] =
+                core::array::from_fn(|i| (meta[i].2, meta[i].3, &bodies[i]));
+            self.mac_key
+                .mac_lines_into(&inputs[..count], &mut tags[..count]);
+            for (tag, &(level, line_idx, _, _, stored)) in tags.iter().zip(&meta).take(count) {
+                if stored != tag.0 {
+                    return Err(IntegrityError::CounterMac { level, line_idx });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The deduplicated off-chip ancestor counter lines covering `lines`
+    /// (sorted `(level, line_idx)` pairs, top-level root excluded).
+    fn chain_lines_of(&self, lines: &[u64]) -> std::collections::BTreeSet<(usize, u64)> {
+        let mut chain = std::collections::BTreeSet::new();
+        for &line in lines {
+            let mut child = line;
+            for level in 0..self.geometry.top_level() {
+                let (line_idx, _) = self.geometry.parent_of(level, child);
+                chain.insert((level, line_idx));
+                child = line_idx;
+            }
+        }
+        chain
+    }
+
+    /// Number of MAC checks [`SecureMemory::verify_lines`] would perform
+    /// for `lines` — cheap integer work, used by bounded recovery's
+    /// crossover heuristic to decide between the touched-line path and
+    /// [`SecureMemory::verify_all`].
+    pub fn verify_lines_cost(&self, lines: &[u64]) -> u64 {
+        let data: u64 = lines.iter().filter(|&&l| self.data.contains(l)).count() as u64;
+        let chain = self
+            .chain_lines_of(lines)
+            .iter()
+            .filter(|&&(level, line_idx)| self.levels[level].contains(line_idx))
+            .count() as u64;
+        data + chain
+    }
+
+    /// Number of MAC checks [`SecureMemory::verify_all`] performs (every
+    /// stored off-chip counter line plus every stored data line).
+    pub fn verify_all_cost(&self) -> u64 {
+        let counters: u64 = (0..self.geometry.top_level())
+            .map(|level| self.levels[level].len())
+            .sum();
+        counters + self.data.len()
     }
 
     // ------------------------------------------------------------------
@@ -564,26 +751,38 @@ impl SecureMemory {
     /// Returns the first [`IntegrityError`] found, identifying the failing
     /// line.
     pub fn verify_all(&self) -> Result<(), IntegrityError> {
+        // Counter levels bottom-up, through the batched MAC pass.
         for level in 0..self.geometry.top_level() {
-            for (line_idx, line) in self.levels[level].iter() {
-                let body = line.encode_for_mac();
-                let expect = self.counter_line_mac(level, line_idx, &body);
-                if line.mac() != expect {
-                    return Err(IntegrityError::CounterMac { level, line_idx });
-                }
-            }
+            let entries: Vec<(usize, u64)> = self.levels[level]
+                .iter()
+                .map(|(line_idx, _)| (level, line_idx))
+                .collect();
+            self.verify_counter_batch(&entries)?;
         }
-        for (data_line, ciphertext) in self.data.iter() {
-            let addr = self.data_addr(data_line);
-            let counter = self.counter_of(data_line);
-            self.charge(|ops| ops.mac_computes += 1);
-            let expect = self.mac_key.mac_line(addr, counter, ciphertext).0;
-            match self.data_macs.get(data_line) {
-                None => return Err(IntegrityError::MissingMac { line_addr: addr }),
-                Some(&stored) if stored != expect => {
-                    return Err(IntegrityError::DataMac { line_addr: addr });
+        // Data lines, batched; ciphertexts are borrowed straight from the
+        // store so each batch is gather + one interleaved SipHash pass.
+        let mut batch: Vec<(u64, u64, &[u8; CACHELINE_BYTES])> =
+            Vec::with_capacity(VERIFY_BATCH);
+        let mut lines: Vec<u64> = Vec::with_capacity(VERIFY_BATCH);
+        let mut tags = [MacTag(0); VERIFY_BATCH];
+        let mut iter = self.data.iter().peekable();
+        while iter.peek().is_some() {
+            batch.clear();
+            lines.clear();
+            for (data_line, ciphertext) in iter.by_ref().take(VERIFY_BATCH) {
+                batch.push((self.data_addr(data_line), self.counter_of(data_line), ciphertext));
+                lines.push(data_line);
+            }
+            self.charge(|ops| ops.mac_computes += batch.len() as u64);
+            self.mac_key.mac_lines_into(&batch, &mut tags[..batch.len()]);
+            for ((tag, &data_line), &(addr, _, _)) in tags.iter().zip(&lines).zip(&batch) {
+                match self.data_macs.get(data_line) {
+                    None => return Err(IntegrityError::MissingMac { line_addr: addr }),
+                    Some(&stored) if stored != tag.0 => {
+                        return Err(IntegrityError::DataMac { line_addr: addr });
+                    }
+                    Some(_) => {}
                 }
-                Some(_) => {}
             }
         }
         Ok(())

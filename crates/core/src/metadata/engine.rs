@@ -444,6 +444,12 @@ impl MetadataEngine {
         // Chain-depth distribution: how far this miss had to walk before
         // hitting a cached ancestor (or the pinned root).
         self.stats.fetch_depths.record(fetched.len() as u64);
+        // The fetched chain is verified as one batched MAC group (the
+        // functional plane's `mac_lines`): count the group so
+        // `mac_ops / mac_batches` exposes the batch depth.
+        if !fetched.is_empty() {
+            self.stats.mac_batches += 1;
+        }
         // The walk recorded each line's level, so no reverse lookup is
         // needed to insert.
         for &(addr, lvl) in fetched.iter().rev() {

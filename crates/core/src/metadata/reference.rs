@@ -213,6 +213,9 @@ impl ReferenceEngine {
         // the walk actually fetched — the equivalence suite compares stats.
         if !fetched.is_empty() {
             self.stats.fetch_depths.record(fetched.len() as u64);
+            // One batched MAC-verification group per miss walk, mirrored
+            // from the optimized engine for the same reason.
+            self.stats.mac_batches += 1;
         }
         // Insert top-down so the requested line ends most-recently-used.
         for addr in fetched.into_iter().rev() {

@@ -128,6 +128,11 @@ pub struct EngineStats {
     /// MAC computations implied by the traffic: one per data access and
     /// per counter-line fetch-verify / writeback-recompute.
     pub mac_ops: u64,
+    /// Batched MAC-verification groups: each cache-miss chain walk hands
+    /// its fetched lines to the crypto unit as one batch (the functional
+    /// plane's `mac_lines`), so `mac_ops / mac_batches` is the mean
+    /// batch depth the hardware pipeline sees.
+    pub mac_batches: u64,
 }
 
 impl EngineStats {
@@ -302,6 +307,7 @@ impl EngineStats {
         self.fetch_depths.merge(&other.fetch_depths);
         self.otp_ops += other.otp_ops;
         self.mac_ops += other.mac_ops;
+        self.mac_batches += other.mac_batches;
     }
 }
 

@@ -91,6 +91,7 @@ pub fn write_stats(w: &mut ByteWriter, stats: &EngineStats) {
     write_histogram(w, &stats.fetch_depths);
     w.u64(stats.otp_ops);
     w.u64(stats.mac_ops);
+    w.u64(stats.mac_batches);
 }
 
 fn read_u64_array<const N: usize>(r: &mut ByteReader<'_>) -> Result<[u64; N], RecoveryError> {
@@ -130,6 +131,7 @@ pub fn read_stats(r: &mut ByteReader<'_>) -> Result<EngineStats, RecoveryError> 
     let fetch_depths = read_histogram(r)?;
     let otp_ops = r.u64()?;
     let mac_ops = r.u64()?;
+    let mac_batches = r.u64()?;
     Ok(EngineStats {
         data_reads,
         data_writes,
@@ -143,6 +145,7 @@ pub fn read_stats(r: &mut ByteReader<'_>) -> Result<EngineStats, RecoveryError> 
         fetch_depths,
         otp_ops,
         mac_ops,
+        mac_batches,
     })
 }
 

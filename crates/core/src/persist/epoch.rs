@@ -237,6 +237,37 @@ impl std::fmt::Display for RecoveryMode {
     }
 }
 
+/// Which re-verification pass a seal-anchored recovery ran after replay.
+///
+/// Bounded recovery normally proves only the suffix's touched lines, but
+/// when nearly every stored line was touched (short history, dense
+/// suffix) the touched-line pass plus its deduplicated ancestor chains
+/// can exceed a plain bottom-up sweep. [`recover_bounded`] compares the
+/// two exact MAC counts ([`SecureMemory::verify_lines_cost`] vs
+/// [`SecureMemory::verify_all_cost`] — cheap integer work) and takes the
+/// cheaper pass, so bounded recovery is never slower than full
+/// verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyStrategy {
+    /// Clean shutdown: the sealed root pins everything, nothing re-proved.
+    None,
+    /// Touched data lines + deduplicated ancestor counter lines.
+    TouchedLines,
+    /// Whole-store bottom-up sweep (cheaper when the suffix touched
+    /// almost everything).
+    FullSweep,
+}
+
+impl std::fmt::Display for VerifyStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VerifyStrategy::None => "none",
+            VerifyStrategy::TouchedLines => "touched-lines",
+            VerifyStrategy::FullSweep => "full-sweep",
+        })
+    }
+}
+
 /// Accounting from one [`recover_bounded`] run — the quantities the
 /// acceptance tests pin (clean shutdown does constant work; a crash
 /// replays and verifies only the open epoch).
@@ -263,6 +294,10 @@ pub struct RecoveryStats {
     /// Whether a seal was present but unusable (MAC forged or root
     /// disagreement), forcing the full-path downgrade.
     pub seal_fallback: bool,
+    /// Which re-verification pass ran (crossover-selected on the
+    /// seal-anchored path; always [`VerifyStrategy::FullSweep`] on the
+    /// full path).
+    pub verify_strategy: VerifyStrategy,
 }
 
 /// Rebuilds a memory from `(snapshot, WAL)` doing work bounded by the
@@ -345,11 +380,27 @@ pub fn recover_bounded(
                     }
                 }
             }
-            // Each read proves the line's MAC and its counter chain up to
-            // the root; untouched lines stay pinned by the sealed root.
-            for &line in &touched {
-                mem.read(line).map_err(RecoveryError::Integrity)?;
-            }
+            // Re-prove what the suffix could have corrupted: the batched
+            // touched-line pass (data MACs + deduplicated ancestor
+            // chains) by default, or a full bottom-up sweep when the
+            // exact MAC-count comparison says the sweep is cheaper —
+            // untouched lines stay pinned by the sealed root either way.
+            let touched_lines: Vec<u64> = touched.iter().copied().collect();
+            let verify_strategy = if touched_lines.is_empty() {
+                VerifyStrategy::None
+            } else if mem.verify_lines_cost(&touched_lines) <= mem.verify_all_cost() {
+                mem.verify_lines(&touched_lines)
+                    .map_err(RecoveryError::Integrity)?;
+                VerifyStrategy::TouchedLines
+            } else {
+                mem.verify_all().map_err(RecoveryError::Integrity)?;
+                VerifyStrategy::FullSweep
+            };
+            let verified_lines = match verify_strategy {
+                VerifyStrategy::None => 0,
+                VerifyStrategy::TouchedLines => touched.len(),
+                VerifyStrategy::FullSweep => mem.data_store().len() as usize,
+            };
             let mode = if replayed_txns == 0 {
                 RecoveryMode::CleanShutdown
             } else {
@@ -364,8 +415,9 @@ pub fn recover_bounded(
                     prepared_epoch,
                     replayed_txns,
                     replayed_records,
-                    verified_lines: touched.len(),
+                    verified_lines,
                     seal_fallback,
+                    verify_strategy,
                 },
             ))
         }
@@ -388,6 +440,7 @@ pub fn recover_bounded(
                     replayed_records,
                     verified_lines,
                     seal_fallback,
+                    verify_strategy: VerifyStrategy::FullSweep,
                 },
             ))
         }
@@ -1153,6 +1206,60 @@ mod tests {
         assert_eq!(stats.replayed_txns, 5);
         assert_eq!(stats.verified_lines, 3, "verifies touched lines, not the memory");
         assert_eq!(save_memory(&recovered), save_memory(mem.memory()));
+    }
+
+    /// Satellite regression for the recovery-grid crossover: across grid
+    /// points spanning sparse-to-dense open-epoch suffixes over small and
+    /// large sealed histories, the seal-anchored path must never do more
+    /// MAC work than the full path (same snapshot + seal-stripped WAL),
+    /// and both must recover byte-identical state. With the batched
+    /// [`SecureMemory::verify_lines`] pass this holds structurally —
+    /// touched lines are a subset of the stored data and their ancestors
+    /// a subset of the stored counters — and the [`VerifyStrategy`]
+    /// crossover guards the bound besides.
+    #[test]
+    fn bounded_recovery_never_does_more_crypto_than_full() {
+        for (base_writes, suffix_writes) in
+            [(8u64, 4u64), (8, 64), (8, 600), (64, 8), (64, 256), (512, 8), (512, 600)]
+        {
+            let mut mem = EpochMemory::new(TreeConfig::morphtree(), MIB, KEY, 0);
+            for i in 0..base_writes {
+                mem.write(i * 7 % 16384, &[i as u8; CACHELINE_BYTES]);
+            }
+            mem.cut();
+            for i in 0..suffix_writes {
+                mem.write(i * 11 % 16384, &[0x80 | i as u8; CACHELINE_BYTES]);
+            }
+            let snapshot = mem.sealed_snapshot();
+            let wal = mem.wal_bytes().to_vec();
+
+            let (bounded, stats) = recover_bounded(&snapshot, &wal).unwrap();
+            assert_ne!(stats.mode, RecoveryMode::Full, "{base_writes}/{suffix_writes}");
+
+            // The full-path oracle: same WAL with the anchor seal
+            // stripped, forcing replay + whole-store verification.
+            let epochs = replay_epochs(&wal).unwrap();
+            let mut stripped = WalWriter::new();
+            for txn in &epochs.txns {
+                stripped.append(&WalRecord::Begin { seq: txn.seq });
+                for record in &txn.records {
+                    stripped.append(record);
+                }
+                stripped.append(&WalRecord::Commit { seq: txn.seq });
+            }
+            let (full, full_stats) = recover_bounded(&snapshot, stripped.bytes()).unwrap();
+            assert_eq!(full_stats.mode, RecoveryMode::Full);
+            assert_eq!(full_stats.verify_strategy, VerifyStrategy::FullSweep);
+
+            assert!(
+                bounded.crypto_ops().total() <= full.crypto_ops().total(),
+                "grid point {base_writes}/{suffix_writes}: bounded used {} crypto ops, full {}",
+                bounded.crypto_ops().total(),
+                full.crypto_ops().total()
+            );
+            assert_eq!(save_memory(&bounded), save_memory(&full));
+            assert_eq!(save_memory(&bounded), save_memory(mem.memory()));
+        }
     }
 
     /// A counter overflow in the *open* epoch reencrypts a whole line

@@ -64,7 +64,7 @@ use codec::{fnv1a, ByteReader, ByteWriter, Truncated};
 pub use epoch::{
     recover_bounded, recover_sharded_bounded, DegradedShardedMemory, EpochMemory,
     EpochSeal, EpochShardedMemory, RecoveryMode, RecoveryStats, SealPhase, ShardRecovery,
-    ShardedRecovery,
+    ShardedRecovery, VerifyStrategy,
 };
 pub use wal::{replay, replay_epochs, SealPoint, WalEpochs, WalRecord, WalTransaction, WalWriter};
 

@@ -135,6 +135,46 @@ fn lockstep_matches_serial_oracle_at_every_thread_count() {
     }
 }
 
+/// Satellite: the lockstep equivalence re-run with the crypto backend
+/// forced to the scalar reference, keeping the oracle honest on AES-NI
+/// hosts — if the hardware path ever diverged from the specification,
+/// auto-selection would make both sides of the other lockstep tests use
+/// it and the divergence could cancel out. Forcing scalar on one side of
+/// the fleet breaks that symmetry. (The override is process-global but
+/// behavior-neutral by construction: every backend is the same
+/// permutation, pinned by the crypto crate's KATs and proptests, so
+/// concurrently running tests only change speed.)
+#[test]
+fn lockstep_holds_with_backend_forced_to_scalar() {
+    morphtree_crypto::aes::force_backend(Some(morphtree_crypto::AesBackend::Scalar));
+    let lines = MIB / CACHELINE_BYTES as u64;
+    let ops = mix(7, 400, lines);
+    let (serial, serial_memory) = serial_outcomes(&ops, MIB);
+    assert_eq!(
+        serial_memory.cipher_backend(),
+        morphtree_crypto::AesBackend::Scalar,
+        "the forced backend must reach the functional memory"
+    );
+    let mut sharded = ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+    let outcomes = sharded.run_batch(&ops, 4);
+    for (i, (got, want)) in outcomes.iter().zip(&serial).enumerate() {
+        assert_outcomes_match(i, got, want);
+    }
+    for line in 0..lines {
+        assert_eq!(sharded.read(line), serial_memory.read(line), "line {line}");
+    }
+    // Bulk verification agrees too: the mix leaves tampered lines
+    // behind, and both planes' batched passes must converge on the same
+    // verdict (same first corrupted line, global coordinates).
+    let all_lines: Vec<u64> = (0..lines).collect();
+    assert_eq!(
+        sharded.verify_lines(&all_lines),
+        serial_memory.verify_lines(&all_lines),
+        "bulk verification verdicts diverged"
+    );
+    morphtree_crypto::aes::force_backend(None);
+}
+
 #[test]
 fn seeded_interleavings_are_schedule_invariant() {
     let lines = MIB / CACHELINE_BYTES as u64;

@@ -18,10 +18,183 @@
 //!   agree on random keys and blocks, and both are pinned to the FIPS-197
 //!   vectors.
 //!
-//! Neither path is constant-time — the simulator models *when* pads are
-//! generated, and the functional secure memory only needs correctness —
-//! but OTP generation sits on the hot path of every functional-memory
-//! access, so the fast path matters for sweep wall-clock.
+//! Neither software path is constant-time — the simulator models *when*
+//! pads are generated, and the functional secure memory only needs
+//! correctness — but OTP generation sits on the hot path of every
+//! functional-memory access, so the fast path matters for sweep
+//! wall-clock.
+//!
+//! # Backends
+//!
+//! [`Aes128::new`] selects a [`AesBackend`] once, at key-expansion time:
+//! the hardware [`AesBackend::AesNi`] path ([`crate::aes_ni`], runtime
+//! `cpuid`-probed) when the CPU has it, else [`AesBackend::TTable`]. The
+//! [`AesBackend::Scalar`] path is never auto-selected; it exists as the
+//! independently-auditable specification the other two are property-
+//! tested against. A process-wide override ([`force_backend`]) pins the
+//! choice for A/B measurement (`morphtree perf --crypto-backend ...`)
+//! and for keeping equivalence oracles honest on AES-NI hosts. All
+//! backends are bit-identical by construction and by test; the override
+//! can therefore never change observable behaviour, only speed.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// An AES-128 implementation strategy, fixed per [`Aes128`] instance at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// Table-free FIPS-197 formulation (S-box bytes + xtime MixColumns).
+    /// The semantic reference; never auto-selected.
+    Scalar,
+    /// Four 256-entry u32 tables fold SubBytes/ShiftRows/MixColumns into
+    /// lookups. The portable fast path and non-x86 default.
+    TTable,
+    /// Hardware `AESENC` via [`crate::aes_ni`], with four-block software
+    /// pipelining. Auto-selected when the CPU supports it.
+    AesNi,
+}
+
+impl AesBackend {
+    /// The CLI/JSON name of the backend.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AesBackend::Scalar => "scalar",
+            AesBackend::TTable => "ttable",
+            AesBackend::AesNi => "aesni",
+        }
+    }
+
+    /// Parses a CLI/JSON backend name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<AesBackend> {
+        match name {
+            "scalar" => Some(AesBackend::Scalar),
+            "ttable" => Some(AesBackend::TTable),
+            "aesni" | "aes-ni" => Some(AesBackend::AesNi),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    #[must_use]
+    pub fn available(self) -> bool {
+        match self {
+            AesBackend::Scalar | AesBackend::TTable => true,
+            AesBackend::AesNi => aes_ni_available(),
+        }
+    }
+
+    /// Every backend runnable on the current CPU, reference first.
+    #[must_use]
+    pub fn all_available() -> Vec<AesBackend> {
+        [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi]
+            .into_iter()
+            .filter(|b| b.available())
+            .collect()
+    }
+}
+
+impl core::fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn aes_ni_available() -> bool {
+    crate::aes_ni::available()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn aes_ni_available() -> bool {
+    false
+}
+
+/// Process-wide backend override: 0 = auto, else `AesBackend` + 1.
+/// Relaxed ordering suffices — every value the cell can hold selects a
+/// bit-identical permutation, so racing readers can never observe
+/// different *behaviour*, only different speed.
+static FORCED_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every subsequent [`Aes128::new`] onto `backend` (process-wide),
+/// or restores automatic selection with `None`.
+///
+/// Already-constructed ciphers keep their backend. Forcing an
+/// unavailable backend is the caller's error: such ciphers panic on
+/// first use (the CLI validates availability before forcing).
+pub fn force_backend(backend: Option<AesBackend>) {
+    let encoded = match backend {
+        None => 0,
+        Some(AesBackend::Scalar) => 1,
+        Some(AesBackend::TTable) => 2,
+        Some(AesBackend::AesNi) => 3,
+    };
+    FORCED_BACKEND.store(encoded, Ordering::Relaxed);
+}
+
+/// The currently forced backend, if any.
+#[must_use]
+pub fn forced_backend() -> Option<AesBackend> {
+    match FORCED_BACKEND.load(Ordering::Relaxed) {
+        1 => Some(AesBackend::Scalar),
+        2 => Some(AesBackend::TTable),
+        3 => Some(AesBackend::AesNi),
+        _ => None,
+    }
+}
+
+/// What automatic selection resolves to on this CPU (ignoring any
+/// [`force_backend`] override): AES-NI when available, else T-tables.
+#[must_use]
+pub fn detected_backend() -> AesBackend {
+    if aes_ni_available() {
+        AesBackend::AesNi
+    } else {
+        AesBackend::TTable
+    }
+}
+
+/// The backend [`Aes128::new`] will pick right now (override, else
+/// detection).
+#[must_use]
+pub fn selected_backend() -> AesBackend {
+    forced_backend().unwrap_or_else(detected_backend)
+}
+
+/// Comma-separated list of the probed CPU features relevant to the
+/// crypto hot path, for the BENCH.json record (e.g. `"aes,vaes,avx2"`;
+/// `"none"` when nothing relevant is present).
+#[must_use]
+pub fn cpu_features() -> String {
+    let mut features: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        // VAES/AVX-512 are probed and recorded (the 4-block 128-bit
+        // pipeline already saturates the AES unit on current cores, so
+        // they are not separate backends — see DESIGN §13).
+        if std::arch::is_x86_feature_detected!("aes") {
+            features.push("aes");
+        }
+        if std::arch::is_x86_feature_detected!("vaes") {
+            features.push("vaes");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            features.push("pclmulqdq");
+        }
+    }
+    if features.is_empty() {
+        "none".to_owned()
+    } else {
+        features.join(",")
+    }
+}
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -123,6 +296,9 @@ pub struct Aes128 {
     /// The same schedule as big-endian u32 column words, pre-packed for the
     /// T-table path.
     round_keys_w: [[u32; 4]; ROUNDS + 1],
+    /// Implementation strategy, chosen once at construction (see
+    /// [`selected_backend`]).
+    backend: AesBackend,
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -133,8 +309,19 @@ impl core::fmt::Debug for Aes128 {
 }
 
 impl Aes128 {
-    /// Expands `key` into the 11 round keys.
+    /// Expands `key` into the 11 round keys, selecting the fastest
+    /// available backend (subject to any [`force_backend`] override).
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, selected_backend())
+    }
+
+    /// Expands `key` with an explicit backend (perf A/B runs and the
+    /// cross-backend equivalence tests).
+    ///
+    /// The key schedule is always the shared portable FIPS-197 expansion
+    /// below — one audited source of truth; backends differ only in how
+    /// they run the rounds.
+    pub fn with_backend(key: &[u8; 16], backend: AesBackend) -> Self {
         let mut words = [[0u8; 4]; 4 * (ROUNDS + 1)];
         for (i, word) in words.iter_mut().take(4).enumerate() {
             word.copy_from_slice(&key[4 * i..4 * i + 4]);
@@ -161,11 +348,50 @@ impl Aes128 {
                 round_keys_w[round][j] = u32::from_be_bytes(words[4 * round + j]);
             }
         }
-        Self { round_keys, round_keys_w }
+        Self { round_keys, round_keys_w, backend }
     }
 
-    /// Encrypts one 16-byte block (T-table path; the default).
+    /// The backend this cipher dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> AesBackend {
+        self.backend
+    }
+
+    /// Encrypts one 16-byte block on the selected backend.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        match self.backend {
+            AesBackend::Scalar => self.encrypt_block_scalar(block),
+            AesBackend::TTable => self.encrypt_block_ttable(block),
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => crate::aes_ni::encrypt_block(&self.round_keys, block),
+            #[cfg(not(target_arch = "x86_64"))]
+            AesBackend::AesNi => self.encrypt_block_ttable(block),
+        }
+    }
+
+    /// Encrypts four independent 16-byte blocks, pipelined on hardware.
+    ///
+    /// This is the counter-mode hot path: the four sub-block pads of a
+    /// 64-byte cacheline have no data dependence, so the AES-NI backend
+    /// interleaves their round chains to fill the AES unit's pipeline
+    /// (see [`crate::aes_ni`]). Software backends encrypt sequentially —
+    /// the output is bit-identical either way.
+    pub fn encrypt_blocks4(&self, blocks: &[[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => crate::aes_ni::encrypt_blocks4(&self.round_keys, blocks),
+            _ => [
+                self.encrypt_block(&blocks[0]),
+                self.encrypt_block(&blocks[1]),
+                self.encrypt_block(&blocks[2]),
+                self.encrypt_block(&blocks[3]),
+            ],
+        }
+    }
+
+    /// Encrypts one 16-byte block via the T-table path (portable fast
+    /// path; non-x86 default).
+    pub fn encrypt_block_ttable(&self, block: &[u8; 16]) -> [u8; 16] {
         let rk = &self.round_keys_w;
         // Big-endian column words: bits 31..24 are row 0 of the column.
         let mut c0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0][0];
@@ -321,6 +547,71 @@ mod tests {
             0xc5, 0x5a,
         ];
         assert_eq!(Aes128::new(&key).encrypt_block(&pt), expect);
+    }
+
+    /// Satellite: the FIPS-197 known-answer vectors must hold on *every*
+    /// backend the host can run — scalar, T-table, and AES-NI when the
+    /// CPU has it — through both the single-block and the pipelined
+    /// four-block entry points.
+    #[test]
+    fn fips197_vectors_hold_on_every_available_backend() {
+        let appendix_b = (
+            [
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+                0xcf, 0x4f, 0x3c,
+            ],
+            [
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
+                0x37, 0x07, 0x34,
+            ],
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32,
+            ],
+        );
+        let appendix_c1 = (
+            core::array::from_fn(|i| i as u8),
+            core::array::from_fn(|i| (i as u8) * 0x11),
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a,
+            ],
+        );
+        for backend in AesBackend::all_available() {
+            for (key, pt, expect) in [appendix_b, appendix_c1] {
+                let cipher = Aes128::with_backend(&key, backend);
+                assert_eq!(cipher.backend(), backend);
+                assert_eq!(cipher.encrypt_block(&pt), expect, "{backend} single block");
+                assert_eq!(
+                    cipher.encrypt_blocks4(&[pt; 4]),
+                    [expect; 4],
+                    "{backend} pipelined blocks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_backend_overrides_selection() {
+        // Process-global override: assert and restore in one test so no
+        // other test observes the forced state's *selection* (backends are
+        // bit-identical, so even a racing construction behaves the same).
+        force_backend(Some(AesBackend::Scalar));
+        assert_eq!(forced_backend(), Some(AesBackend::Scalar));
+        assert_eq!(selected_backend(), AesBackend::Scalar);
+        assert_eq!(Aes128::new(&[0u8; 16]).backend(), AesBackend::Scalar);
+        force_backend(None);
+        assert_eq!(forced_backend(), None);
+        assert_eq!(selected_backend(), detected_backend());
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi] {
+            assert_eq!(AesBackend::parse(backend.as_str()), Some(backend));
+        }
+        assert_eq!(AesBackend::parse("aes-ni"), Some(AesBackend::AesNi));
+        assert_eq!(AesBackend::parse("hardware"), None);
     }
 
     #[test]

@@ -85,13 +85,80 @@ impl MacKey {
     /// MAC of a 64-byte line bound to its address and encryption counter.
     ///
     /// This is the per-line MAC of §II-A3: `MAC = H_K(addr ‖ counter ‖ data)`.
+    ///
+    /// The message is always exactly 80 bytes (ten SipHash words), so this
+    /// path absorbs the words directly instead of materializing the buffer
+    /// and re-chunking it; [`MacKey::mac_bytes`] over the concatenation is
+    /// the pinned reference.
     pub fn mac_line(&self, line_addr: u64, counter: u64, data: &[u8; 64]) -> MacTag {
-        let mut message = [0u8; 80];
-        message[0..8].copy_from_slice(&line_addr.to_le_bytes());
-        message[8..16].copy_from_slice(&counter.to_le_bytes());
-        message[16..80].copy_from_slice(data);
-        self.mac_bytes(&message)
+        let words = line_words(line_addr, counter, data);
+        let mut v = sip_init(self.k0, self.k1);
+        for &word in &words {
+            sip_absorb(&mut v, word);
+        }
+        sip_absorb(&mut v, LINE_LEN_BLOCK);
+        MacTag(sip_finalize(v))
     }
+
+    /// MACs a batch of lines — a whole fetched counter chain in one pass.
+    ///
+    /// Output is bit-identical to calling [`MacKey::mac_line`] per entry
+    /// (pinned by test); the batch form exists for throughput: lines are
+    /// processed in pairs with the two SipHash states interleaved round by
+    /// round, so the serial add-rotate-xor dependency chain of one state
+    /// overlaps the other's and fills the ALU ports a single chain leaves
+    /// idle.
+    pub fn mac_lines(&self, inputs: &[(u64, u64, &[u8; 64])]) -> Vec<MacTag> {
+        let mut out = vec![MacTag(0); inputs.len()];
+        self.mac_lines_into(inputs, &mut out);
+        out
+    }
+
+    /// [`MacKey::mac_lines`] writing into a caller-provided slice, for hot
+    /// paths that reuse one tag buffer across batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != inputs.len()`.
+    pub fn mac_lines_into(&self, inputs: &[(u64, u64, &[u8; 64])], out: &mut [MacTag]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "tag buffer must match the batch length"
+        );
+        let mut pairs = inputs.chunks_exact(2);
+        let mut tags = out.chunks_exact_mut(2);
+        for (pair, tag_pair) in (&mut pairs).zip(&mut tags) {
+            let wa = line_words(pair[0].0, pair[0].1, pair[0].2);
+            let wb = line_words(pair[1].0, pair[1].1, pair[1].2);
+            let mut va = sip_init(self.k0, self.k1);
+            let mut vb = sip_init(self.k0, self.k1);
+            for (&a, &b) in wa.iter().zip(&wb) {
+                sip_absorb2(&mut va, a, &mut vb, b);
+            }
+            sip_absorb2(&mut va, LINE_LEN_BLOCK, &mut vb, LINE_LEN_BLOCK);
+            tag_pair[0] = MacTag(sip_finalize(va));
+            tag_pair[1] = MacTag(sip_finalize(vb));
+        }
+        if let ([(addr, ctr, data)], [tag]) = (pairs.remainder(), tags.into_remainder()) {
+            *tag = self.mac_line(*addr, *ctr, data);
+        }
+    }
+}
+
+/// Length block of the fixed 80-byte `mac_line` message:
+/// `(len & 0xff) << 56` with no remainder bytes.
+const LINE_LEN_BLOCK: u64 = 80 << 56;
+
+/// The ten message words of `addr ‖ counter ‖ data` in little-endian order.
+fn line_words(line_addr: u64, counter: u64, data: &[u8; 64]) -> [u64; 10] {
+    let mut words = [0u64; 10];
+    words[0] = line_addr;
+    words[1] = counter;
+    for (word, chunk) in words[2..].iter_mut().zip(data.chunks_exact(8)) {
+        *word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+    }
+    words
 }
 
 #[inline]
@@ -112,22 +179,59 @@ fn sip_round(v: &mut [u64; 4]) {
     v[2] = v[2].rotate_left(32);
 }
 
-/// SipHash-2-4 (2 compression rounds, 4 finalization rounds).
-fn siphash24(k0: u64, k1: u64, message: &[u8]) -> u64 {
-    let mut v = [
+/// The SipHash initial state for a key.
+#[inline]
+fn sip_init(k0: u64, k1: u64) -> [u64; 4] {
+    [
         k0 ^ 0x736f_6d65_7073_6575,
         k1 ^ 0x646f_7261_6e64_6f6d,
         k0 ^ 0x6c79_6765_6e65_7261,
         k1 ^ 0x7465_6462_7974_6573,
-    ];
+    ]
+}
+
+/// Absorbs one message word (two compression rounds).
+#[inline]
+fn sip_absorb(v: &mut [u64; 4], m: u64) {
+    v[3] ^= m;
+    sip_round(v);
+    sip_round(v);
+    v[0] ^= m;
+}
+
+/// Absorbs one word into each of two independent states with the round
+/// bodies interleaved, so the two serial ARX chains overlap in the
+/// pipeline. Equivalent to two [`sip_absorb`] calls.
+#[inline]
+fn sip_absorb2(va: &mut [u64; 4], ma: u64, vb: &mut [u64; 4], mb: u64) {
+    va[3] ^= ma;
+    vb[3] ^= mb;
+    sip_round(va);
+    sip_round(vb);
+    sip_round(va);
+    sip_round(vb);
+    va[0] ^= ma;
+    vb[0] ^= mb;
+}
+
+/// Finalization: 4 rounds over the xored state.
+#[inline]
+fn sip_finalize(mut v: [u64; 4]) -> u64 {
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sip_round(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// SipHash-2-4 (2 compression rounds, 4 finalization rounds).
+fn siphash24(k0: u64, k1: u64, message: &[u8]) -> u64 {
+    let mut v = sip_init(k0, k1);
 
     let mut chunks = message.chunks_exact(8);
     for chunk in &mut chunks {
         let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-        v[3] ^= m;
-        sip_round(&mut v);
-        sip_round(&mut v);
-        v[0] ^= m;
+        sip_absorb(&mut v, m);
     }
 
     // Final block: remaining bytes plus the message length in the top byte.
@@ -136,16 +240,9 @@ fn siphash24(k0: u64, k1: u64, message: &[u8]) -> u64 {
     for (i, &byte) in remainder.iter().enumerate() {
         last |= (byte as u64) << (8 * i);
     }
-    v[3] ^= last;
-    sip_round(&mut v);
-    sip_round(&mut v);
-    v[0] ^= last;
+    sip_absorb(&mut v, last);
 
-    v[2] ^= 0xff;
-    for _ in 0..4 {
-        sip_round(&mut v);
-    }
-    v[0] ^ v[1] ^ v[2] ^ v[3]
+    sip_finalize(v)
 }
 
 #[cfg(test)]
@@ -185,6 +282,58 @@ mod tests {
         let mut tampered = data;
         tampered[63] ^= 1;
         assert_ne!(base, key.mac_line(0x1000, 5, &tampered), "data must matter");
+    }
+
+    #[test]
+    fn mac_line_fast_path_matches_the_general_hash() {
+        let key = MacKey::new(core::array::from_fn(|i| (31 * i) as u8));
+        for (addr, ctr) in [(0u64, 0u64), (0x40, 1), (u64::MAX, (1 << 56) - 1)] {
+            let data: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(7) ^ addr as u8);
+            let mut message = [0u8; 80];
+            message[0..8].copy_from_slice(&addr.to_le_bytes());
+            message[8..16].copy_from_slice(&ctr.to_le_bytes());
+            message[16..80].copy_from_slice(&data);
+            assert_eq!(
+                key.mac_line(addr, ctr, &data),
+                key.mac_bytes(&message),
+                "addr={addr:#x} ctr={ctr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_macs_match_per_line_macs() {
+        let key = MacKey::new([0x5au8; 16]);
+        let lines: Vec<(u64, u64, [u8; 64])> = (0..7)
+            .map(|i| {
+                (
+                    0x40 * i,
+                    1000 + i,
+                    core::array::from_fn(|j| (i as u8).wrapping_mul(13).wrapping_add(j as u8)),
+                )
+            })
+            .collect();
+        // Odd and even batch lengths exercise both the paired loop and the
+        // single-line remainder.
+        for len in [0usize, 1, 2, 3, 6, 7] {
+            let inputs: Vec<(u64, u64, &[u8; 64])> =
+                lines[..len].iter().map(|(a, c, d)| (*a, *c, d)).collect();
+            let batch = key.mac_lines(&inputs);
+            let individual: Vec<MacTag> = lines[..len]
+                .iter()
+                .map(|(a, c, d)| key.mac_line(*a, *c, d))
+                .collect();
+            assert_eq!(batch, individual, "batch length {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tag buffer")]
+    fn mac_lines_into_rejects_mismatched_buffer() {
+        let key = MacKey::new([0u8; 16]);
+        let data = [0u8; 64];
+        let mut out = [MacTag(0); 1];
+        key.mac_lines_into(&[(0, 0, &data), (0x40, 1, &data)], &mut out);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! guarantee (and property-test) that effective counter values never repeat
 //! for a given line.
 
-use crate::aes::Aes128;
+use crate::aes::{Aes128, AesBackend};
 use crate::{CachelineBytes, CACHELINE_BYTES};
 
 /// Counter-mode cipher over 64-byte cachelines.
@@ -20,9 +20,21 @@ pub struct CtrModeCipher {
 }
 
 impl CtrModeCipher {
-    /// Creates a cipher with the given 128-bit key.
+    /// Creates a cipher with the given 128-bit key, using the backend
+    /// selected by [`crate::aes::selected_backend`].
     pub fn new(key: [u8; 16]) -> Self {
         Self { aes: Aes128::new(&key) }
+    }
+
+    /// Creates a cipher pinned to an explicit AES backend (A/B benchmarking
+    /// and cross-backend equivalence tests).
+    pub fn with_backend(key: [u8; 16], backend: AesBackend) -> Self {
+        Self { aes: Aes128::with_backend(&key, backend) }
+    }
+
+    /// The AES backend this cipher dispatches to.
+    pub fn backend(&self) -> AesBackend {
+        self.aes.backend()
     }
 
     /// Generates the 64-byte one-time pad for `(line_addr, counter)`.
@@ -37,17 +49,28 @@ impl CtrModeCipher {
     /// [`CtrModeCipher::one_time_pad_reference`], without the per-block
     /// seed rebuild.
     pub fn one_time_pad(&self, line_addr: u64, counter: u64) -> CachelineBytes {
+        let blocks = self.pad_blocks(line_addr, counter);
         let mut pad = [0u8; CACHELINE_BYTES];
+        for (chunk, block) in pad.chunks_exact_mut(16).zip(&blocks) {
+            chunk.copy_from_slice(block);
+        }
+        pad
+    }
+
+    /// The four 16-byte pad blocks of a line, generated in one pipelined
+    /// [`crate::aes::Aes128::encrypt_blocks4`] call. The four seeds are
+    /// independent, so the hardware backend overlaps their round chains
+    /// instead of running four serial encryptions.
+    fn pad_blocks(&self, line_addr: u64, counter: u64) -> [[u8; 16]; 4] {
         let mut seed = [0u8; 16];
         seed[0..8].copy_from_slice(&line_addr.to_le_bytes());
         seed[8..16].copy_from_slice(&counter.to_le_bytes());
         let counter_top = (counter >> 56) as u8;
-        for block in 0..CACHELINE_BYTES / 16 {
+        let mut seeds = [seed; 4];
+        for (block, seed) in seeds.iter_mut().enumerate() {
             seed[15] = counter_top | block as u8;
-            let ct = self.aes.encrypt_block(&seed);
-            pad[block * 16..block * 16 + 16].copy_from_slice(&ct);
         }
-        pad
+        self.aes.encrypt_blocks4(&seeds)
     }
 
     /// The seed formulation of [`CtrModeCipher::one_time_pad`]: per-block
@@ -86,13 +109,54 @@ impl CtrModeCipher {
         self.xor_line(line_addr, counter, ciphertext)
     }
 
+    /// [`CtrModeCipher::encrypt_line`] writing into a caller-provided
+    /// buffer: the pad blocks are XORed straight into `out` as they come
+    /// off the AES pipeline, so no intermediate 64-byte pad is
+    /// materialized. Hot paths that reuse one line buffer per chain use
+    /// this form.
+    pub fn encrypt_line_into(
+        &self,
+        line_addr: u64,
+        counter: u64,
+        plaintext: &CachelineBytes,
+        out: &mut CachelineBytes,
+    ) {
+        self.xor_line_into(line_addr, counter, plaintext, out);
+    }
+
+    /// [`CtrModeCipher::decrypt_line`] writing into a caller-provided
+    /// buffer (identical to [`CtrModeCipher::encrypt_line_into`] in
+    /// counter mode).
+    pub fn decrypt_line_into(
+        &self,
+        line_addr: u64,
+        counter: u64,
+        ciphertext: &CachelineBytes,
+        out: &mut CachelineBytes,
+    ) {
+        self.xor_line_into(line_addr, counter, ciphertext, out);
+    }
+
     fn xor_line(&self, line_addr: u64, counter: u64, input: &CachelineBytes) -> CachelineBytes {
-        let pad = self.one_time_pad(line_addr, counter);
         let mut out = [0u8; CACHELINE_BYTES];
-        for ((o, i), p) in out.iter_mut().zip(input).zip(&pad) {
-            *o = i ^ p;
-        }
+        self.xor_line_into(line_addr, counter, input, &mut out);
         out
+    }
+
+    fn xor_line_into(
+        &self,
+        line_addr: u64,
+        counter: u64,
+        input: &CachelineBytes,
+        out: &mut CachelineBytes,
+    ) {
+        let blocks = self.pad_blocks(line_addr, counter);
+        for (block_idx, block) in blocks.iter().enumerate() {
+            let base = block_idx * 16;
+            for (offset, pad_byte) in block.iter().enumerate() {
+                out[base + offset] = input[base + offset] ^ pad_byte;
+            }
+        }
     }
 }
 
@@ -142,6 +206,39 @@ mod tests {
                 c.one_time_pad(addr, ctr),
                 c.one_time_pad_reference(addr, ctr),
                 "addr={addr:#x} ctr={ctr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_variants_match_the_allocating_ones() {
+        let c = cipher();
+        let pt: CachelineBytes = core::array::from_fn(|i| (i as u8).wrapping_mul(3));
+        let ct = c.encrypt_line(0x2040, 17, &pt);
+        let mut buf = [0u8; CACHELINE_BYTES];
+        c.encrypt_line_into(0x2040, 17, &pt, &mut buf);
+        assert_eq!(buf, ct);
+        c.decrypt_line_into(0x2040, 17, &ct, &mut buf);
+        assert_eq!(buf, pt);
+    }
+
+    #[test]
+    fn every_backend_produces_the_same_pad_and_ciphertext() {
+        let key = [0x42u8; 16];
+        let reference = CtrModeCipher::with_backend(key, crate::aes::AesBackend::Scalar);
+        let pt: CachelineBytes = core::array::from_fn(|i| i as u8 ^ 0x5c);
+        for backend in crate::aes::AesBackend::all_available() {
+            let c = CtrModeCipher::with_backend(key, backend);
+            assert_eq!(c.backend(), backend);
+            assert_eq!(
+                c.one_time_pad(0x40, 9),
+                reference.one_time_pad(0x40, 9),
+                "{backend} pad"
+            );
+            assert_eq!(
+                c.encrypt_line(0x40, 9, &pt),
+                reference.encrypt_line(0x40, 9, &pt),
+                "{backend} ciphertext"
             );
         }
     }
