@@ -23,6 +23,13 @@
 //!   written by `serve --epoch-ops ... --state-out PREFIX`), reporting
 //!   per-shard recovery modes and quarantining — not dying on — bad
 //!   shards;
+//! - `prove` — emit a compact verifiable integrity proof for a set of
+//!   data lines from a snapshot (`--lines 0,5,9 --out PROOF`), optionally
+//!   publishing the checksummed root artifact (`--root-out`); sharded
+//!   `MTSH` images compose per-shard sub-proofs under the folded top;
+//! - `verify-proof` — check a proof against a published root (`--root
+//!   HEX` or `--root-file`) with **no access to the memory image**; any
+//!   tamper of proof or root exits with the integrity code;
 //! - `crash-campaign` — seeded fault-injected crash drills against the
 //!   epoch-bounded sharded engine: kills at random WAL offsets, crashes
 //!   between the per-shard seals of a cut, and corrupted-log quarantine
@@ -45,6 +52,10 @@
 //!
 //! Argument parsing is hand-rolled (`--key value` flags) to keep the
 //! dependency set minimal.
+//!
+//! Every error carries an [`ErrorKind`]: usage and I/O problems exit 1,
+//! cryptographic integrity verdicts (tampered snapshots, failed proofs,
+//! quarantined shards) exit 2 — see [`CliError::exit_code`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,15 +68,48 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use morphtree_core::attack::{campaign_configs, run_campaign, CampaignConfig};
+use morphtree_core::obs::MetricsRegistry;
+use morphtree_core::proof::{AnyProof, ProofStats};
 use morphtree_core::tree::{TreeConfig, TreeGeometry};
 use morphtree_sim::system::{simulate, simulate_nonsecure, SimConfig};
 use morphtree_trace::catalog::{Benchmark, MIXES};
 use morphtree_trace::io::RecordedTrace;
 use morphtree_trace::workload::SystemWorkload;
 
-/// Errors surfaced to the command line.
+/// How a [`CliError`] maps to a process exit code — the contract CI
+/// scripts key on. Usage mistakes and I/O failures must stay
+/// distinguishable from cryptographic verdicts: a deploy script retries a
+/// missing file, but must never retry past a tamper detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad flags, unreadable/unwritable files, malformed requests — exit 1.
+    Usage,
+    /// A cryptographic integrity verdict: tampered snapshot, failed proof,
+    /// mismatched root, quarantined shard — exit 2.
+    Integrity,
+}
+
+/// Errors surfaced to the command line: a user-facing message plus the
+/// [`ErrorKind`] that decides the exit code.
 #[derive(Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError(pub String, pub ErrorKind);
+
+impl CliError {
+    /// The exit-code class of this error.
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        self.1
+    }
+
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self.1 {
+            ErrorKind::Usage => 1,
+            ErrorKind::Integrity => 2,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -76,7 +120,13 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 fn err(message: impl Into<String>) -> CliError {
-    CliError(message.into())
+    CliError(message.into(), ErrorKind::Usage)
+}
+
+/// An integrity verdict (exit 2): the input was read fine but a MAC,
+/// checksum, root, or proof check says it is not authentic.
+fn integrity_err(message: impl Into<String>) -> CliError {
+    CliError(message.into(), ErrorKind::Integrity)
 }
 
 /// Parsed `--key value` flags.
@@ -220,6 +270,10 @@ pub fn usage() -> String {
      \x20 snapshot  --out FILE | --verify FILE [--config morph] [--shards 0]\n\
      \x20           [--memory-kib 1024] [--lines 64] [--seed 42]\n\
      \x20 recover   --snapshot FILE [--wal FILE] | --state PREFIX\n\
+     \x20 prove     --snapshot FILE --lines 0,5,9 --out PROOF\n\
+     \x20           [--root-out FILE] [--metrics FILE]\n\
+     \x20 verify-proof --proof FILE --root HEX | --root-file FILE\n\
+     \x20           [--metrics FILE]\n\
      \x20 perf      [--out BENCH.json] [--quick 1] [--recovery 1] [--metrics FILE]\n\
      \x20           [--crypto-backend auto|scalar|ttable|aesni] [--gate BASELINE.json]\n\
      \x20 serve     [--threads 1] [--shards 0=threads] [--ops 100000] [--batch 8192]\n\
@@ -262,6 +316,8 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "recover" => cmd_recover(&flags),
+        "prove" => cmd_prove(&flags),
+        "verify-proof" => cmd_verify_proof(&flags),
         "perf" => perf::cmd_perf(&flags),
         "serve" => serve::cmd_serve(&flags),
         "attack" => cmd_attack(&flags),
@@ -633,7 +689,7 @@ fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
             // Recovery with an empty log replays nothing: this is a pure
             // load + bottom-up re-verification of every stored MAC.
             let memory = persist::recover(&bytes, &[])
-                .map_err(|e| err(format!("{path}: snapshot failed verification: {e}")))?;
+                .map_err(|e| integrity_err(format!("{path}: snapshot failed verification: {e}")))?;
             Ok(format!(
                 "{path}: snapshot verified — {} over {}, {} data line(s), every \
                  counter level and data MAC re-checked\n",
@@ -653,7 +709,7 @@ fn verify_sharded_image(path: &str, bytes: &[u8]) -> Result<String, CliError> {
     use morphtree_core::persist;
 
     let reports = persist::verify_shards(bytes)
-        .map_err(|e| err(format!("{path}: container failed verification: {e}")))?;
+        .map_err(|e| integrity_err(format!("{path}: container failed verification: {e}")))?;
     let mut out = format!("{path}: sharded image, {} shard(s)\n", reports.len());
     let mut first_bad = None;
     for report in &reports {
@@ -690,7 +746,7 @@ fn verify_sharded_image(path: &str, bytes: &[u8]) -> Result<String, CliError> {
                 .expect("write to string");
             Ok(out)
         }
-        Some(shard) => Err(err(format!(
+        Some(shard) => Err(integrity_err(format!(
             "{out}{path}: shard {shard} failed verification (first failure; see table above)"
         ))),
     }
@@ -715,7 +771,7 @@ fn cmd_recover(flags: &Flags) -> Result<String, CliError> {
             };
             let started = Instant::now();
             let (memory, stats) = persist::recover_bounded(&snapshot, &wal)
-                .map_err(|e| err(format!("{path}: recovery failed: {e}")))?;
+                .map_err(|e| integrity_err(format!("{path}: recovery failed: {e}")))?;
             let elapsed = started.elapsed();
             let mut out = format!(
                 "{path}: recovered {} over {} in {:.1}ms\n",
@@ -756,7 +812,7 @@ fn cmd_recover(flags: &Flags) -> Result<String, CliError> {
             }
             let started = Instant::now();
             let rec = persist::recover_sharded_bounded(&container, &wals)
-                .map_err(|e| err(format!("{container_path}: recovery failed: {e}")))?;
+                .map_err(|e| integrity_err(format!("{container_path}: recovery failed: {e}")))?;
             let elapsed = started.elapsed();
             let mut out = format!(
                 "{prefix}: recovered {} shard(s) in {:.1}ms — resolved epoch {}{}\n",
@@ -789,7 +845,7 @@ fn cmd_recover(flags: &Flags) -> Result<String, CliError> {
                 writeln!(out, "all shards healthy; state is serving").expect("write to string");
                 Ok(out)
             } else {
-                Err(err(format!(
+                Err(integrity_err(format!(
                     "{out}degraded: shard(s) {} quarantined — healthy shards serve, \
                      quarantined shards refuse",
                     quarantined.join(", "),
@@ -797,6 +853,138 @@ fn cmd_recover(flags: &Flags) -> Result<String, CliError> {
             }
         }
     }
+}
+
+/// Parses a `--lines 0,5,9` comma-separated data-line list.
+fn parse_line_list(spec: &str) -> Result<Vec<u64>, CliError> {
+    spec.split(',')
+        .map(|piece| {
+            piece
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| err(format!("--lines: `{piece}` is not a data-line index")))
+        })
+        .collect()
+}
+
+/// Parses a published root as hex (with or without `0x`).
+fn parse_root_hex(spec: &str) -> Result<u64, CliError> {
+    let digits = spec.strip_prefix("0x").unwrap_or(spec);
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| err(format!("--root: `{spec}` is not a 64-bit hex root")))
+}
+
+/// Records the deterministic size/coverage facts of a proof. No
+/// wall-clock here — verification *timing* belongs to `morphtree perf`.
+fn proof_metrics(path: &str, encoded_len: usize, stats: &ProofStats) -> Result<(), CliError> {
+    let mut reg = MetricsRegistry::new();
+    reg.counter_set("proof.bytes", encoded_len as u64);
+    reg.counter_set("proof.data_lines", stats.data_lines);
+    reg.counter_set("proof.nodes", stats.nodes);
+    reg.counter_set("proof.shards", stats.shards);
+    reg.counter_set("proof.verify.mac_computes", stats.mac_computes);
+    metrics::write_metrics(path, &reg)
+}
+
+fn cmd_prove(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::persist;
+
+    let snapshot_path = flags.required("snapshot")?;
+    let out_path = flags.required("out")?;
+    let lines = parse_line_list(flags.required("lines")?)?;
+    let bytes = std::fs::read(snapshot_path)
+        .map_err(|e| err(format!("cannot read {snapshot_path}: {e}")))?;
+
+    // Recovery failures are integrity verdicts (the snapshot's checksums
+    // or MACs are wrong); a bad line request against a healthy image is a
+    // usage error. Both are distinguishable from unreadable files.
+    let (proof, root) = if bytes.starts_with(&persist::MAGIC_SHARDED) {
+        let mut memory = persist::recover_sharded(&bytes)
+            .map_err(|e| integrity_err(format!("{snapshot_path}: snapshot failed: {e}")))?;
+        let root = memory.combined_root();
+        let proof = memory
+            .prove(&lines)
+            .map_err(|e| err(format!("{snapshot_path}: cannot prove: {e}")))?;
+        (AnyProof::Sharded(proof), root)
+    } else {
+        let memory = persist::recover(&bytes, &[])
+            .map_err(|e| integrity_err(format!("{snapshot_path}: snapshot failed: {e}")))?;
+        let proof = memory
+            .prove(&lines)
+            .map_err(|e| err(format!("{snapshot_path}: cannot prove: {e}")))?;
+        (AnyProof::Serial(proof), memory.root_digest())
+    };
+
+    let encoded = proof.encode();
+    std::fs::write(out_path, &encoded)
+        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    if let Some(root_path) = flags.get("root-out") {
+        std::fs::write(root_path, persist::save_root(root))
+            .map_err(|e| err(format!("cannot write {root_path}: {e}")))?;
+    }
+
+    // Self-check the freshly minted proof so a prove run can never emit
+    // bytes the standalone verifier would reject.
+    let stats = morphtree_core::proof::verify_any_proof(&proof, root)
+        .map_err(|e| integrity_err(format!("freshly built proof failed self-check: {e}")))?;
+    if let Some(path) = flags.get("metrics") {
+        proof_metrics(path, encoded.len(), &stats)?;
+    }
+
+    let shard_note = match &proof {
+        AnyProof::Serial(_) => String::new(),
+        AnyProof::Sharded(_) => format!(", {} shard sub-proof(s)", stats.shards),
+    };
+    Ok(format!(
+        "proof over {} data line(s) ({} counter node(s){shard_note}) written to \
+         {out_path} ({} bytes)\n  root {root:#018x}{}\n",
+        stats.data_lines,
+        stats.nodes,
+        encoded.len(),
+        flags.get("root-out").map_or(String::new(), |p| format!(" published to {p}")),
+    ))
+}
+
+fn cmd_verify_proof(flags: &Flags) -> Result<String, CliError> {
+    use morphtree_core::persist;
+    use morphtree_core::proof::{decode_proof, verify_any_proof};
+
+    let proof_path = flags.required("proof")?;
+    let root = match (flags.get("root"), flags.get("root-file")) {
+        (Some(_), Some(_)) => return Err(err("--root and --root-file are mutually exclusive")),
+        (None, None) => {
+            return Err(err("verify-proof needs --root HEX or --root-file FILE"));
+        }
+        (Some(spec), None) => parse_root_hex(spec)?,
+        (None, Some(path)) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            // A corrupt root artifact is an integrity verdict: the bytes
+            // were read fine but fail their own checksum.
+            persist::load_root(&bytes)
+                .map_err(|e| integrity_err(format!("{path}: root artifact rejected: {e}")))?
+        }
+    };
+    let encoded = std::fs::read(proof_path)
+        .map_err(|e| err(format!("cannot read {proof_path}: {e}")))?;
+    // From here on every failure is an integrity verdict — a proof that
+    // does not parse is indistinguishable from a tampered one.
+    let proof = decode_proof(&encoded)
+        .map_err(|e| integrity_err(format!("{proof_path}: proof rejected: {e}")))?;
+    let stats = verify_any_proof(&proof, root)
+        .map_err(|e| integrity_err(format!("{proof_path}: proof rejected: {e}")))?;
+    if let Some(path) = flags.get("metrics") {
+        proof_metrics(path, encoded.len(), &stats)?;
+    }
+    let shard_note = match stats.shards {
+        0 => String::new(),
+        n => format!(", {n} shard sub-proof(s)"),
+    };
+    Ok(format!(
+        "{proof_path}: proof verified against root {root:#018x} — {} data line(s), \
+         {} counter node(s){shard_note}, {} MAC(s) recomputed, no memory image consulted\n",
+        stats.data_lines, stats.nodes, stats.mac_computes,
+    ))
 }
 
 fn cmd_crash_campaign(flags: &Flags) -> Result<String, CliError> {
@@ -1315,5 +1503,167 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(out.contains("replayed `milc`"), "{out}");
         assert!(out.contains("SC-64"), "{out}");
+    }
+
+    #[test]
+    fn error_kinds_map_to_distinct_exit_codes() {
+        assert_eq!(err("nope").exit_code(), 1);
+        assert_eq!(err("nope").kind(), ErrorKind::Usage);
+        assert_eq!(integrity_err("tampered").exit_code(), 2);
+        assert_eq!(integrity_err("tampered").kind(), ErrorKind::Integrity);
+        // Usage mistakes on real commands are the usage kind.
+        assert_eq!(run("recover", &[]).unwrap_err().kind(), ErrorKind::Usage);
+        assert_eq!(run("prove", &[]).unwrap_err().kind(), ErrorKind::Usage);
+        assert_eq!(run("verify-proof", &[]).unwrap_err().kind(), ErrorKind::Usage);
+    }
+
+    #[test]
+    fn tampered_snapshot_is_an_integrity_verdict_not_usage() {
+        let path = std::env::temp_dir().join("morphtree-cli-kind.mtsn");
+        let path_str = path.to_str().unwrap().to_owned();
+        run("snapshot", &strs(&["--out", &path_str, "--memory-kib", "256"])).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let e = run("snapshot", &strs(&["--verify", &path_str])).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(e.kind(), ErrorKind::Integrity, "{}", e.0);
+        // An unreadable file stays a usage/IO error, clearly separated.
+        let e = run("snapshot", &strs(&["--verify", "/nonexistent/x.mtsn"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage, "{}", e.0);
+    }
+
+    #[test]
+    fn prove_then_verify_proof_needs_no_memory_image() {
+        let dir = std::env::temp_dir().join("morphtree-cli-proof");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("image.mtsn").to_str().unwrap().to_owned();
+        let proof = dir.join("lines.mtpr").to_str().unwrap().to_owned();
+        let root = dir.join("root.mtrt").to_str().unwrap().to_owned();
+        run(
+            "snapshot",
+            &strs(&["--out", &snap, "--config", "sc64", "--memory-kib", "256",
+                    "--lines", "32"]),
+        )
+        .unwrap();
+        let out = run(
+            "prove",
+            &strs(&["--snapshot", &snap, "--lines", "0,5,9,31", "--out", &proof,
+                    "--root-out", &root]),
+        )
+        .unwrap();
+        assert!(out.contains("proof over 4 data line(s)"), "{out}");
+        assert!(out.contains(&format!("published to {root}")), "{out}");
+
+        // The verifier needs only the proof and the published root — the
+        // snapshot can be gone.
+        std::fs::remove_file(&snap).unwrap();
+        let out = run(
+            "verify-proof",
+            &strs(&["--proof", &proof, "--root-file", &root]),
+        )
+        .unwrap();
+        assert!(out.contains("proof verified"), "{out}");
+        assert!(out.contains("no memory image consulted"), "{out}");
+
+        // The same root as a hex literal also verifies.
+        let hex_at = out.find("root 0x").unwrap() + "root ".len();
+        let hex = &out[hex_at..hex_at + 18];
+        let out2 =
+            run("verify-proof", &strs(&["--proof", &proof, "--root", hex])).unwrap();
+        assert!(out2.contains("proof verified"), "{out2}");
+
+        // A flipped byte anywhere in the proof is an integrity verdict.
+        let mut bytes = std::fs::read(&proof).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&proof, &bytes).unwrap();
+        let e = run("verify-proof", &strs(&["--proof", &proof, "--root-file", &root]))
+            .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Integrity, "{}", e.0);
+        bytes[mid] ^= 1;
+        std::fs::write(&proof, &bytes).unwrap();
+
+        // So is a flipped byte in the published root artifact.
+        let mut root_bytes = std::fs::read(&root).unwrap();
+        root_bytes[10] ^= 1;
+        std::fs::write(&root, &root_bytes).unwrap();
+        let e = run("verify-proof", &strs(&["--proof", &proof, "--root-file", &root]))
+            .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Integrity, "{}", e.0);
+
+        // And a wrong-but-well-formed root is a root mismatch.
+        let e = run(
+            "verify-proof",
+            &strs(&["--proof", &proof, "--root", "0xdeadbeefdeadbeef"]),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Integrity, "{}", e.0);
+        assert!(e.0.contains("root"), "{}", e.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prove_composes_sharded_snapshots() {
+        let dir = std::env::temp_dir().join("morphtree-cli-proof-sharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("image.mtsh").to_str().unwrap().to_owned();
+        let proof = dir.join("lines.mtpr").to_str().unwrap().to_owned();
+        run(
+            "snapshot",
+            &strs(&["--out", &snap, "--config", "morph", "--memory-kib", "256",
+                    "--shards", "4", "--lines", "64"]),
+        )
+        .unwrap();
+        let root = dir.join("root.mtrt").to_str().unwrap().to_owned();
+        let out = run(
+            "prove",
+            &strs(&["--snapshot", &snap, "--lines", "0,17,63", "--out", &proof,
+                    "--root-out", &root]),
+        )
+        .unwrap();
+        assert!(out.contains("shard sub-proof(s)"), "{out}");
+        let out = run(
+            "verify-proof",
+            &strs(&["--proof", &proof, "--root-file", &root]),
+        )
+        .unwrap();
+        assert!(out.contains("proof verified"), "{out}");
+        assert!(out.contains("shard sub-proof(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prove_rejects_bad_requests_as_usage_errors() {
+        let dir = std::env::temp_dir().join("morphtree-cli-proof-usage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("image.mtsn").to_str().unwrap().to_owned();
+        let proof = dir.join("lines.mtpr").to_str().unwrap().to_owned();
+        run("snapshot", &strs(&["--out", &snap, "--memory-kib", "256", "--lines", "8"]))
+            .unwrap();
+        // Unparsable line list.
+        let e = run(
+            "prove",
+            &strs(&["--snapshot", &snap, "--lines", "0,banana", "--out", &proof]),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage, "{}", e.0);
+        // A never-written line is a bad request against a healthy image.
+        let e = run(
+            "prove",
+            &strs(&["--snapshot", &snap, "--lines", "2000", "--out", &proof]),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage, "{}", e.0);
+        assert!(e.0.contains("cannot prove"), "{}", e.0);
+        // Bad root hex on the verify side is usage too.
+        let e = run(
+            "verify-proof",
+            &strs(&["--proof", &proof, "--root", "zzzz"]),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage, "{}", e.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

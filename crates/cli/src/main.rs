@@ -1,4 +1,8 @@
 //! The `morphtree` command-line tool (see `morphtree help`).
+//!
+//! Exit codes: 0 success; 1 usage or I/O error; 2 integrity verdict (a
+//! tampered snapshot, failed proof, mismatched root, or quarantined
+//! shard) — scripts can retry a 1 but must never retry past a 2.
 
 use std::process::ExitCode;
 
@@ -15,7 +19,7 @@ fn main() -> ExitCode {
         }
         Err(error) => {
             eprintln!("error: {error}");
-            ExitCode::FAILURE
+            ExitCode::from(error.exit_code())
         }
     }
 }

@@ -16,7 +16,12 @@
 //! 4. a crash-recovery grid (memory size × open-epoch WAL length):
 //!    epoch-bounded recovery versus the full-replay baseline it
 //!    supersedes, on identical `(snapshot, WAL)` inputs;
-//! 5. one full figure sweep (`fig07`) as an end-to-end wall-clock number.
+//! 5. a proof-size-vs-arity grid: the five evaluated tree configs prove
+//!    the same 8-line set over the same 1 MiB image; encoded proof bytes
+//!    (structural, deterministic) and standalone verification time land
+//!    in the JSON `proofs` section — the higher-arity morphable configs
+//!    must produce smaller proofs than 64-ary SC-64;
+//! 6. one full figure sweep (`fig07`) as an end-to-end wall-clock number.
 //!
 //! Each benchmark reports mean ns/op and ops/sec over a fixed time
 //! window; the optimized/reference pairs additionally report a speedup
@@ -366,6 +371,21 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         .expect("write to string");
     }
 
+    // 5b. Proof-size-vs-arity sweep: the five evaluated configs prove
+    //     the same line set; size is structural, verify time is wall.
+    let proof_points = run_proof_grid(quick);
+    for p in &proof_points {
+        writeln!(
+            progress,
+            "{:<28} {:>10} bytes {:>6} node(s) {:>10} ns/verify",
+            format!("proof_{}", p.name),
+            p.proof_bytes,
+            p.nodes,
+            number(p.verify_ns),
+        )
+        .expect("write to string");
+    }
+
     // 6. One full figure sweep, end to end.
     let sweep_ms = run_sweep(quick)?;
     writeln!(progress, "{:<28} {sweep_ms:>10} ms wall-clock", "sweep_fig07").expect("write");
@@ -472,6 +492,26 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         .expect("write");
         json.push_str("  },\n");
     }
+    json.push_str("  \"proofs\": {\n");
+    json.push_str("    \"memory_mib\": 1,\n");
+    json.push_str("    \"proved_lines\": 8,\n");
+    json.push_str("    \"grid\": [\n");
+    for (i, p) in proof_points.iter().enumerate() {
+        let comma = if i + 1 == proof_points.len() { "" } else { "," };
+        writeln!(
+            json,
+            "      {{\"config\": \"{}\", \"proof_bytes\": {}, \"nodes\": {}, \
+             \"mac_computes\": {}, \"verify_ns\": {}}}{comma}",
+            p.name,
+            p.proof_bytes,
+            p.nodes,
+            p.mac_computes,
+            number(p.verify_ns),
+        )
+        .expect("write to string");
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     writeln!(json, "  \"sweep\": {{\"figure\": \"fig07\", \"wall_ms\": {sweep_ms}}}").expect("write");
     json.push_str("}\n");
 
@@ -503,6 +543,12 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
             registry.gauge_set(&format!("{prefix}.bounded_ms"), Some(p.bounded_ms));
             registry.gauge_set(&format!("{prefix}.full_ms"), Some(p.full_ms));
         }
+        for p in &proof_points {
+            let prefix = format!("perf.proof_{}", p.name);
+            registry.counter_set(&format!("{prefix}.bytes"), p.proof_bytes as u64);
+            registry.counter_set(&format!("{prefix}.nodes"), p.nodes);
+            registry.gauge_set(&format!("{prefix}.verify_ns"), Some(p.verify_ns));
+        }
         registry.counter_set("perf.sweep_fig07.wall_ms", sweep_ms);
         crate::metrics::write_metrics(path, &registry)?;
         writeln!(summary, "metrics written to {path}").expect("write to string");
@@ -523,6 +569,18 @@ pub fn cmd_perf(flags: &Flags) -> Result<String, CliError> {
         number(serve_scaling_8v1(&serve_points))
     )
     .expect("write to string");
+    {
+        let size_of = |key: &str| {
+            proof_points.iter().find(|p| p.name == key).map_or(0, |p| p.proof_bytes)
+        };
+        writeln!(
+            summary,
+            "proof size for 8 lines over 1 MiB: morphtree {} bytes vs sc64 {} bytes",
+            size_of("morphtree"),
+            size_of("sc64"),
+        )
+        .expect("write to string");
+    }
     if let Some(largest) = recovery_points.last() {
         writeln!(
             summary,
@@ -755,6 +813,64 @@ fn run_recovery_grid(quick: bool) -> Vec<RecoveryPoint> {
     points
 }
 
+/// One configuration's point in the proof-size-vs-arity sweep.
+struct ProofPoint {
+    /// Short config key (`sc64`, `vault`, `zcc`, `mcr`, `morphtree`).
+    name: &'static str,
+    /// Encoded proof size in bytes — deterministic for a fixed image and
+    /// line set, so this is a *structural* number, not a timing.
+    proof_bytes: usize,
+    /// Counter nodes the proof carries (chain + top, deduplicated).
+    nodes: u64,
+    /// MACs the standalone verifier recomputes.
+    mac_computes: u64,
+    /// Mean wall-clock per standalone verification.
+    verify_ns: f64,
+}
+
+/// Proves the same 8-line set over the same 1 MiB image under each of the
+/// five evaluated tree configurations (the attack-campaign set) and
+/// measures encoded proof size plus standalone verification time. Higher
+/// arity means shorter chains and fewer deduplicated upper nodes, so the
+/// 128-ary morphable configs must beat 64-ary SC-64 on proof bytes — the
+/// same geometry argument as the paper's metadata-overhead claim, and a
+/// unit test pins it.
+fn run_proof_grid(quick: bool) -> Vec<ProofPoint> {
+    use morphtree_core::proof::verify_proof;
+
+    const PROOF_MEM: u64 = 1 << 20;
+    const WRITTEN: u64 = 512;
+    let proved: [u64; 8] = [0, 3, 60, 177, 300, 333, 409, 511];
+    let iters = if quick { 16 } else { 256 };
+    morphtree_core::attack::campaign_configs()
+        .into_iter()
+        .map(|(name, config)| {
+            let mut memory = SecureMemory::new(config, PROOF_MEM, [0x61; 16]);
+            let mut payload = [0u8; CACHELINE_BYTES];
+            for line in 0..WRITTEN {
+                payload[..8].copy_from_slice(&(line.wrapping_mul(0x9e37)).to_le_bytes());
+                memory.write(line, &payload);
+            }
+            let proof = memory.prove(&proved).expect("prove written lines");
+            let encoded = proof.encode();
+            let root = memory.root_digest();
+            let stats = verify_proof(&proof, root).expect("fresh proof verifies");
+            let started = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(verify_proof(&proof, root).expect("fresh proof verifies"));
+            }
+            let verify_ns = started.elapsed().as_nanos() as f64 / f64::from(iters);
+            ProofPoint {
+                name,
+                proof_bytes: encoded.len(),
+                nodes: stats.nodes,
+                mac_computes: stats.mac_computes,
+                verify_ns,
+            }
+        })
+        .collect()
+}
+
 /// The headline scaling ratio: 8-thread throughput over 1-thread.
 fn serve_scaling_8v1(points: &[(usize, f64)]) -> f64 {
     let at = |threads: usize| {
@@ -855,6 +971,31 @@ mod tests {
             largest.full_ms,
             largest.memory_mib,
         );
+    }
+
+    #[test]
+    fn proof_grid_morphable_configs_beat_sc64_on_size() {
+        // The acceptance claim behind the BENCH.json `proofs` section:
+        // proof size is structural (no timing), so this is deterministic.
+        // 128-ary morphable trees cover the same 8 lines with fewer,
+        // shorter chains than 64-ary SC-64.
+        let points = run_proof_grid(true);
+        assert_eq!(points.len(), 5, "all five evaluated configs");
+        let size_of = |key: &str| {
+            points.iter().find(|p| p.name == key).map(|p| p.proof_bytes).unwrap()
+        };
+        for key in ["zcc", "mcr", "morphtree"] {
+            assert!(
+                size_of(key) < size_of("sc64"),
+                "{key} proof ({} B) should be smaller than sc64 ({} B)",
+                size_of(key),
+                size_of("sc64"),
+            );
+        }
+        for p in &points {
+            assert!(p.nodes > 0 && p.mac_computes > p.nodes, "{}", p.name);
+            assert!(p.verify_ns > 0.0, "{}", p.name);
+        }
     }
 
     #[test]

@@ -277,6 +277,13 @@ impl ShardedMemory {
         &self.plan
     }
 
+    /// The cached per-shard root digests (the proof subsystem embeds the
+    /// full vector in a sharded proof). Callers must
+    /// [`ShardedMemory::recombine`] first if shards may be dirty.
+    pub(crate) fn shard_digests(&self) -> &[u64] {
+        &self.digests
+    }
+
     /// One shard's subtree (read-only; for audits and persistence).
     #[must_use]
     pub fn shard(&self, shard: usize) -> &SecureMemory {
@@ -409,13 +416,18 @@ impl ShardedMemory {
     /// shard and running one batched
     /// [`SecureMemory::verify_lines`] pass per touched shard.
     ///
+    /// Mirrors the serial canonicalization: duplicate or unsorted global
+    /// lines are deduplicated *before* bucketing, so per-shard buckets
+    /// (and therefore per-shard MAC counts) match what
+    /// [`SecureMemory::verify_lines_cost`] would predict per shard.
+    ///
     /// # Errors
     ///
     /// Returns the first [`IntegrityError`] across shards, in shard
     /// order, with data coordinates globalized.
     pub fn verify_lines(&self, lines: &[u64]) -> Result<(), IntegrityError> {
         let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
-        for &line in lines {
+        for &line in &crate::proof::canonical_lines(lines) {
             by_shard[self.plan.shard_of(line)].push(self.plan.local_line(line));
         }
         for (s, local) in by_shard.iter().enumerate() {

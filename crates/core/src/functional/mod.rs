@@ -498,11 +498,17 @@ impl SecureMemory {
     /// Never-written lines are skipped (they read as zeroes by
     /// definition, with nothing stored off-chip to verify).
     ///
+    /// Duplicate or unsorted input lines are canonicalized (sorted,
+    /// deduplicated) first, so each line is checked exactly once and the
+    /// MAC count always equals [`SecureMemory::verify_lines_cost`] — the
+    /// invariant bounded recovery's crossover heuristic relies on.
+    ///
     /// # Errors
     ///
     /// Returns the first [`IntegrityError`] found, identifying the
     /// failing line.
     pub fn verify_lines(&self, lines: &[u64]) -> Result<(), IntegrityError> {
+        let lines = crate::proof::canonical_lines(lines);
         // Data MACs first (cheapest to gather: ciphertexts are borrowed
         // straight from the store), in batches.
         let mut batch: Vec<(u64, u64, &[u8; CACHELINE_BYTES])> =
@@ -534,7 +540,7 @@ impl SecureMemory {
             }
         }
         // Ancestor counter lines, deduplicated across the whole batch.
-        let chain: Vec<(usize, u64)> = self.chain_lines_of(lines).into_iter().collect();
+        let chain: Vec<(usize, u64)> = self.chain_lines_of(&lines).into_iter().collect();
         self.verify_counter_batch(&chain)
     }
 
@@ -585,8 +591,10 @@ impl SecureMemory {
     }
 
     /// The deduplicated off-chip ancestor counter lines covering `lines`
-    /// (sorted `(level, line_idx)` pairs, top-level root excluded).
-    fn chain_lines_of(&self, lines: &[u64]) -> std::collections::BTreeSet<(usize, u64)> {
+    /// (sorted `(level, line_idx)` pairs, top-level root excluded). The
+    /// proof subsystem uses the same `(level, line_idx)` keying for its
+    /// node deduplication.
+    pub(crate) fn chain_lines_of(&self, lines: &[u64]) -> std::collections::BTreeSet<(usize, u64)> {
         let mut chain = std::collections::BTreeSet::new();
         for &line in lines {
             let mut child = line;
@@ -603,10 +611,16 @@ impl SecureMemory {
     /// for `lines` — cheap integer work, used by bounded recovery's
     /// crossover heuristic to decide between the touched-line path and
     /// [`SecureMemory::verify_all`].
+    ///
+    /// Canonicalizes (sorts, deduplicates) the input exactly like
+    /// [`SecureMemory::verify_lines`], so duplicate or unsorted line IDs
+    /// cannot make the integer cost disagree with the MACs actually
+    /// computed (the regression the cost-model tests pin).
     pub fn verify_lines_cost(&self, lines: &[u64]) -> u64 {
+        let lines = crate::proof::canonical_lines(lines);
         let data: u64 = lines.iter().filter(|&&l| self.data.contains(l)).count() as u64;
         let chain = self
-            .chain_lines_of(lines)
+            .chain_lines_of(&lines)
             .iter()
             .filter(|&&(level, line_idx)| self.levels[level].contains(line_idx))
             .count() as u64;
@@ -1278,5 +1292,27 @@ mod tests {
     fn write_rejects_out_of_range() {
         let mut m = mem(TreeConfig::sc64());
         m.write(u64::MAX, &[0; 64]);
+    }
+
+    #[test]
+    fn verify_lines_cost_matches_macs_for_duplicate_and_unsorted_input() {
+        // Regression: duplicate or unsorted line IDs must not make the
+        // integer cost model disagree with the MACs verify_lines actually
+        // computes — both canonicalize, each line is checked exactly once.
+        for config in all_configs() {
+            let name = config.name().to_string();
+            let mut m = mem(config);
+            for line in [3u64, 9, 40, 41, 1000] {
+                m.write(line, &[0x2c; 64]);
+            }
+            let messy = [9u64, 3, 9, 40, 3, 1000, 41, 9];
+            let clean = [3u64, 9, 40, 41, 1000];
+            let cost = m.verify_lines_cost(&messy);
+            assert_eq!(cost, m.verify_lines_cost(&clean), "{name}");
+            let before = m.crypto_ops().mac_computes;
+            m.verify_lines(&messy).unwrap();
+            let observed = m.crypto_ops().mac_computes - before;
+            assert_eq!(cost, observed, "{name}: cost model vs observed MACs");
+        }
     }
 }

@@ -33,6 +33,10 @@
 //! - [`obs`] — the observability plane: a deterministic metrics registry
 //!   (counters/gauges + log2-bucket latency histograms) and a span
 //!   timeline tracer, exported as sorted-key JSON by `--metrics`.
+//! - [`proof`] — verifiable integrity proofs: compact varint-framed
+//!   per-line proofs (counter chain + sibling MACs up to the root) that a
+//!   standalone verifier checks against a published root with no memory
+//!   image, plus the authenticated-read decryption path.
 //!
 //! # Quick example
 //!
@@ -64,10 +68,12 @@ pub mod functional;
 pub mod metadata;
 pub mod obs;
 pub mod persist;
+pub mod proof;
 pub mod store;
 pub mod tree;
 
 pub use error::{CodecError, IntegrityError, TamperError};
+pub use proof::ProofError;
 
 /// Size of a cacheline (and of every counter-line entry) in bytes.
 pub const CACHELINE_BYTES: usize = 64;

@@ -132,12 +132,15 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    /// The `p`-th percentile (0 < p <= 100) as a bucket upper bound,
+    /// The `p`-th percentile (p ∈ [0, 100]) as a bucket upper bound,
     /// clamped to the observed min/max so single-sample and single-bucket
-    /// distributions report exact values. `None` when empty.
+    /// distributions report exact values. `None` when empty, and `None`
+    /// for NaN or out-of-range `p` — before this validation, a NaN or
+    /// negative `p` silently coerced through `as u64` and clamped to
+    /// rank 1, reporting the minimum as if it were a real percentile.
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) {
             return None;
         }
         let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -228,6 +231,25 @@ mod tests {
         assert_eq!(bucket_bounds(1), (1, 1));
         assert_eq!(bucket_bounds(2), (2, 3));
         assert_eq!(bucket_bounds(NUM_BUCKETS - 1), (1 << 62, u64::MAX));
+    }
+
+    #[test]
+    fn percentile_boundaries_and_invalid_p() {
+        let mut h = Histogram::new();
+        for v in [5u64, 9, 200] {
+            h.record(v);
+        }
+        // p = 0 and p = 100 are valid boundaries: rank 1 (the min's
+        // bucket upper bound, 5 -> bucket [4, 7]) and the observed max.
+        assert_eq!(h.percentile(0.0), Some(7));
+        assert_eq!(h.percentile(100.0), Some(200));
+        // NaN and out-of-range p are invalid, not "rank 1".
+        assert_eq!(h.percentile(f64::NAN), None);
+        assert_eq!(h.percentile(-1.0), None);
+        assert_eq!(h.percentile(-0.001), None);
+        assert_eq!(h.percentile(100.001), None);
+        assert_eq!(h.percentile(f64::INFINITY), None);
+        assert_eq!(h.percentile(f64::NEG_INFINITY), None);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub const MAGIC: [u8; 4] = *b"MTSN";
 /// Sharded-snapshot container magic (`MTSH` = MorphTree SHards): a header
 /// plus one embedded [`MAGIC`] snapshot per shard.
 pub const MAGIC_SHARDED: [u8; 4] = *b"MTSH";
+/// Published-root file magic (`MTRT` = MorphTree RooT): the tiny
+/// checksummed artifact [`save_root`] writes alongside a snapshot so a
+/// verifier can check proofs with nothing but this file.
+pub const MAGIC_ROOT: [u8; 4] = *b"MTRT";
 /// Current snapshot format version.
 pub const VERSION: u32 = 1;
 
@@ -81,6 +85,7 @@ pub const VERSION: u32 = 1;
 /// allocating stores for a fictitious geometry.
 pub const MAX_MEMORY_BYTES: u64 = 1 << 40;
 
+pub(crate) const SEC_ROOT: u32 = 32;
 pub(crate) const SEC_CONFIG: u32 = 1;
 pub(crate) const SEC_STATE: u32 = 2;
 pub(crate) const SEC_DATA: u32 = 3;
@@ -247,6 +252,47 @@ impl From<Truncated> for RecoveryError {
     fn from(t: Truncated) -> Self {
         RecoveryError::Truncated { offset: t.offset }
     }
+}
+
+/// Encodes a published root for the proof-verification boundary: magic,
+/// version, the 64-bit root, and an FNV checksum over the preceding
+/// bytes. 24 bytes — the only state a [`crate::proof`] verifier needs.
+#[must_use]
+pub fn save_root(root: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.bytes(&MAGIC_ROOT);
+    w.u32(VERSION);
+    w.u64(root);
+    let mut out = w.into_bytes();
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes a [`save_root`] artifact.
+///
+/// # Errors
+///
+/// Returns a typed [`RecoveryError`] on bad magic, version, truncation,
+/// checksum mismatch, or trailing bytes.
+pub fn load_root(bytes: &[u8]) -> Result<u64, RecoveryError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4).map_err(RecoveryError::from)? != MAGIC_ROOT {
+        return Err(RecoveryError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(RecoveryError::UnsupportedVersion { version });
+    }
+    let root = r.u64()?;
+    let stored = r.u64()?;
+    if fnv1a(&bytes[..16]) != stored {
+        return Err(RecoveryError::ChecksumMismatch { section: SEC_ROOT });
+    }
+    if !r.is_exhausted() {
+        return Err(RecoveryError::CorruptSnapshot { offset: r.offset() });
+    }
+    Ok(root)
 }
 
 pub(crate) fn write_org(w: &mut ByteWriter, org: CounterOrg) {
@@ -1094,5 +1140,36 @@ mod tests {
             load_memory(&huge).unwrap_err(),
             RecoveryError::CorruptSnapshot { .. }
         ));
+    }
+
+    #[test]
+    fn root_artifact_round_trips() {
+        for root in [0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX] {
+            let bytes = save_root(root);
+            assert_eq!(bytes.len(), 24);
+            assert_eq!(load_root(&bytes).unwrap(), root);
+        }
+    }
+
+    #[test]
+    fn root_artifact_rejects_every_single_byte_flip() {
+        let bytes = save_root(0x1234_5678_9abc_def0);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(load_root(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        // Truncation and trailing garbage are typed errors too.
+        assert!(matches!(
+            load_root(&bytes[..bytes.len() - 1]).unwrap_err(),
+            RecoveryError::Truncated { .. }
+        ));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            load_root(&long).unwrap_err(),
+            RecoveryError::CorruptSnapshot { .. }
+        ));
+        assert!(matches!(load_root(b"MTSN....").unwrap_err(), RecoveryError::BadMagic));
     }
 }
