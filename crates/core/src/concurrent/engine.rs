@@ -148,6 +148,70 @@ fn apply(plan: &ShardPlan, shard: usize, memory: &mut SecureMemory, op: &Op) -> 
     }
 }
 
+/// Flushes a run of consecutive reads against one shard as a single
+/// multi-line verify+decrypt call ([`SecureMemory::verify_and_read`]),
+/// so the whole run shares batched MAC passes, deduplicated ancestor
+/// verification, and bulk counter-mode decryption (four lines per AES
+/// call on the `vaes` backend).
+///
+/// Outcome lockstep is preserved by construction: a successful bulk pass
+/// performs a superset of every per-line check, so its plaintexts equal
+/// the per-line results; on *any* bulk failure the run is replayed per
+/// line so each op receives exactly the verdict the serial oracle would
+/// give it (the bulk error cannot name which queued op is at fault —
+/// shared ancestors are verified once for the whole run).
+fn flush_reads(
+    plan: &ShardPlan,
+    shard: usize,
+    memory: &mut SecureMemory,
+    run: &mut Vec<(usize, u64)>,
+    results: &mut Vec<(usize, OpOutcome)>,
+) {
+    if run.len() > 1 {
+        let lines: Vec<u64> = run.iter().map(|&(_, local)| local).collect();
+        if let Ok(plaintexts) = memory.verify_and_read(&lines) {
+            for (&(index, _), plaintext) in run.iter().zip(plaintexts) {
+                results.push((index, OpOutcome::Data(plaintext)));
+            }
+            run.clear();
+            return;
+        }
+    }
+    // Singleton run, or bulk verification failed: serve per line, giving
+    // each op exactly the verdict `apply`'s read arm would.
+    for &(index, local) in run.iter() {
+        let outcome = match memory.read(local) {
+            Ok(data) => OpOutcome::Data(data),
+            Err(err) => OpOutcome::Detected(globalize_integrity(plan, shard, err)),
+        };
+        results.push((index, outcome));
+    }
+    run.clear();
+}
+
+/// Drains one shard's FIFO queue, grouping maximal runs of consecutive
+/// reads into bulk verify+decrypt calls via [`flush_reads`] and applying
+/// everything else per op. Per-shard program order is preserved: a read
+/// run only ever extends until the next mutating op, which flushes it.
+fn apply_queue<'a>(
+    plan: &ShardPlan,
+    shard: usize,
+    memory: &mut SecureMemory,
+    queue: impl Iterator<Item = (usize, &'a Op)>,
+    results: &mut Vec<(usize, OpOutcome)>,
+) {
+    let mut run: Vec<(usize, u64)> = Vec::new();
+    for (index, op) in queue {
+        if let Op::Read { line } = *op {
+            run.push((index, plan.local_line(line)));
+            continue;
+        }
+        flush_reads(plan, shard, memory, &mut run, results);
+        results.push((index, apply(plan, shard, memory, op)));
+    }
+    flush_reads(plan, shard, memory, &mut run, results);
+}
+
 /// Derives the per-shard encryption/MAC seed from the tenant key: the high
 /// key half is XORed with the 1-based shard id, so shards never share OTP
 /// or MAC streams even for identical plaintexts at identical local
@@ -441,6 +505,48 @@ impl ShardedMemory {
         Ok(())
     }
 
+    /// Batch-verifies and decrypts `lines` (global coordinates), routing
+    /// each line to its owning shard and running one
+    /// [`SecureMemory::verify_and_read`] pass per touched shard.
+    /// Plaintexts come back in **input order** (duplicates included);
+    /// never-written lines read as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] across shards, in shard
+    /// order, with data coordinates globalized; no plaintext is released
+    /// for any line of a failing batch.
+    pub fn verify_and_read(
+        &self,
+        lines: &[u64],
+    ) -> Result<Vec<[u8; CACHELINE_BYTES]>, IntegrityError> {
+        let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &line in lines {
+            by_shard[self.plan.shard_of(line)].push(self.plan.local_line(line));
+        }
+        let mut per_shard: Vec<std::collections::VecDeque<[u8; CACHELINE_BYTES]>> =
+            Vec::with_capacity(self.shards.len());
+        for (s, local) in by_shard.iter().enumerate() {
+            per_shard.push(
+                self.shards[s]
+                    .verify_and_read(local)
+                    .map_err(|e| globalize_integrity(&self.plan, s, e))?
+                    .into(),
+            );
+        }
+        Ok(lines
+            .iter()
+            .map(|&line| {
+                // Each shard returned exactly one plaintext per routed
+                // line, in routing order — both loops walk `lines`.
+                #[allow(clippy::expect_used)]
+                per_shard[self.plan.shard_of(line)]
+                    .pop_front()
+                    .expect("one plaintext per routed line")
+            })
+            .collect())
+    }
+
     /// Total overflow re-encryptions across all shards.
     #[must_use]
     pub fn reencryptions(&self) -> u64 {
@@ -504,9 +610,7 @@ impl ShardedMemory {
         let results: Vec<(usize, OpOutcome)> = if workers == 1 {
             let mut results = Vec::with_capacity(ops.len());
             for (s, memory) in self.shards.iter_mut().enumerate() {
-                for (index, op) in queues.take(s) {
-                    results.push((index, apply(&plan, s, memory, op)));
-                }
+                apply_queue(&plan, s, memory, queues.take(s).into_iter(), &mut results);
             }
             results
         } else {
@@ -527,9 +631,13 @@ impl ShardedMemory {
                         for (offset, (memory, queue)) in
                             memories.iter_mut().zip(queue_chunk.iter_mut()).enumerate()
                         {
-                            for (index, op) in queue.drain(..) {
-                                results.push((index, apply(&plan, base + offset, memory, op)));
-                            }
+                            apply_queue(
+                                &plan,
+                                base + offset,
+                                memory,
+                                queue.drain(..),
+                                &mut results,
+                            );
                         }
                         results
                     }));

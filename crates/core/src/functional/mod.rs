@@ -544,6 +544,82 @@ impl SecureMemory {
         self.verify_counter_batch(&chain)
     }
 
+    /// Batch-verifies `lines` and returns their plaintexts in **input
+    /// order** — the bulk form of calling [`SecureMemory::read`] per
+    /// line, with every MAC going through the batched SipHash pass and
+    /// every decryption through the bulk counter-mode path
+    /// ([`morphtree_crypto::CtrModeCipher::decrypt_lines_into`], four
+    /// lines per AES call on the `vaes` backend).
+    ///
+    /// Verification canonicalizes exactly like
+    /// [`SecureMemory::verify_lines`]: duplicates are verified and
+    /// decrypted once, then fanned back out to their input positions.
+    /// Never-written lines read as zeroes, as in [`SecureMemory::read`].
+    /// The crypto work charged is exactly
+    /// [`SecureMemory::verify_and_read_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] found; no plaintext is
+    /// released for any line of a failing batch.
+    pub fn verify_and_read(
+        &self,
+        lines: &[u64],
+    ) -> Result<Vec<[u8; CACHELINE_BYTES]>, IntegrityError> {
+        let canonical = crate::proof::canonical_lines(lines);
+        self.verify_lines(&canonical)?;
+        // Decrypt each unique present line once, in VERIFY_BATCH chunks
+        // through the bulk counter-mode path.
+        let mut plaintexts: std::collections::BTreeMap<u64, [u8; CACHELINE_BYTES]> =
+            std::collections::BTreeMap::new();
+        let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(VERIFY_BATCH);
+        let mut present: Vec<u64> = Vec::with_capacity(VERIFY_BATCH);
+        let mut cts = [[0u8; CACHELINE_BYTES]; VERIFY_BATCH];
+        let mut pts = [[0u8; CACHELINE_BYTES]; VERIFY_BATCH];
+        for chunk in canonical.chunks(VERIFY_BATCH) {
+            pairs.clear();
+            present.clear();
+            for &line in chunk {
+                if let Some(ciphertext) = self.data.get(line) {
+                    cts[pairs.len()] = *ciphertext;
+                    pairs.push((self.data_addr(line), self.counter_of(line)));
+                    present.push(line);
+                }
+            }
+            let n = pairs.len();
+            self.charge(|ops| ops.otp_decrypts += n as u64);
+            self.cipher
+                .decrypt_lines_into(&pairs, &cts[..n], &mut pts[..n]);
+            for (&line, pt) in present.iter().zip(&pts) {
+                plaintexts.insert(line, *pt);
+            }
+        }
+        Ok(lines
+            .iter()
+            .map(|line| {
+                plaintexts
+                    .get(line)
+                    .copied()
+                    .unwrap_or([0u8; CACHELINE_BYTES])
+            })
+            .collect())
+    }
+
+    /// The exact crypto work [`SecureMemory::verify_and_read`] charges
+    /// for `lines`: [`SecureMemory::verify_lines_cost`] MAC checks plus
+    /// one counter-mode decryption per unique *present* line — cheap
+    /// integer work, pinned equal to the observed [`CryptoOps`] delta by
+    /// the accounting tests.
+    #[must_use]
+    pub fn verify_and_read_cost(&self, lines: &[u64]) -> CryptoOps {
+        let canonical = crate::proof::canonical_lines(lines);
+        CryptoOps {
+            otp_encrypts: 0,
+            otp_decrypts: canonical.iter().filter(|&&l| self.data.contains(l)).count() as u64,
+            mac_computes: self.verify_lines_cost(&canonical),
+        }
+    }
+
     /// Batch-verifies the MACs of the given off-chip counter lines
     /// (absent lines are skipped), in chunks of [`VERIFY_BATCH`] through
     /// the interleaved SipHash pass.
@@ -1313,6 +1389,61 @@ mod tests {
             m.verify_lines(&messy).unwrap();
             let observed = m.crypto_ops().mac_computes - before;
             assert_eq!(cost, observed, "{name}: cost model vs observed MACs");
+        }
+    }
+
+    #[test]
+    fn verify_and_read_matches_per_line_reads() {
+        for config in all_configs() {
+            let name = config.name().to_string();
+            let mut m = mem(config);
+            for line in [3u64, 9, 40, 41, 1000] {
+                m.write(line, &[line as u8; 64]);
+            }
+            // Duplicates, unsorted order, and a never-written line (17).
+            let messy = [9u64, 3, 17, 9, 40, 3, 1000, 41, 9];
+            let bulk = m.verify_and_read(&messy).unwrap();
+            assert_eq!(bulk.len(), messy.len(), "{name}");
+            for (i, &line) in messy.iter().enumerate() {
+                assert_eq!(bulk[i], m.read(line).unwrap(), "{name}: line {line}");
+            }
+            assert_eq!(bulk[2], [0u8; 64], "{name}: never-written reads as zeroes");
+            // The empty batch is a no-op success.
+            assert_eq!(m.verify_and_read(&[]).unwrap(), Vec::<[u8; 64]>::new());
+        }
+    }
+
+    #[test]
+    fn verify_and_read_refuses_to_release_tampered_plaintext() {
+        let mut m = mem(TreeConfig::morphtree());
+        m.write(5, &[0x55; 64]);
+        m.write(9, &[0x99; 64]);
+        m.tamper_raw(9, 0, 0x01).unwrap();
+        let err = m.verify_and_read(&[5, 9]).unwrap_err();
+        assert_eq!(err, IntegrityError::DataMac { line_addr: 9 * 64 });
+    }
+
+    /// Satellite: the bulk read path charges exactly the integer cost
+    /// model — `verify_lines_cost` MACs plus one decryption per unique
+    /// present line, regardless of duplicates, order, or absent lines.
+    #[test]
+    fn verify_and_read_charges_exactly_its_cost_model() {
+        for config in all_configs() {
+            let name = config.name().to_string();
+            let mut m = mem(config);
+            for line in [3u64, 9, 40, 41, 1000] {
+                m.write(line, &[0x2c; 64]);
+            }
+            let messy = [9u64, 3, 17, 9, 40, 3, 1000, 41, 9];
+            let cost = m.verify_and_read_cost(&messy);
+            assert_eq!(cost.otp_decrypts, 5, "{name}: one decrypt per unique present line");
+            assert_eq!(cost.mac_computes, m.verify_lines_cost(&messy), "{name}");
+            let before = m.crypto_ops();
+            m.verify_and_read(&messy).unwrap();
+            let after = m.crypto_ops();
+            assert_eq!(after.mac_computes - before.mac_computes, cost.mac_computes, "{name}");
+            assert_eq!(after.otp_decrypts - before.otp_decrypts, cost.otp_decrypts, "{name}");
+            assert_eq!(after.otp_encrypts, before.otp_encrypts, "{name}: reads never encrypt");
         }
     }
 }

@@ -175,6 +175,53 @@ fn lockstep_holds_with_backend_forced_to_scalar() {
     morphtree_crypto::aes::force_backend(None);
 }
 
+/// Satellite: the cross-line read batch loop in lockstep. A read-heavy
+/// mix produces long same-shard read runs, which `run_batch` serves
+/// through bulk multi-line verify+decrypt — the outcomes (including
+/// detections against lines tampered earlier in the same batch) must
+/// still match the per-op serial oracle at every worker count, and the
+/// sharded bulk `verify_and_read` must return exactly the bytes the
+/// per-line reads do.
+#[test]
+fn read_batch_loop_stays_in_lockstep_with_the_serial_oracle() {
+    let lines = MIB / CACHELINE_BYTES as u64;
+    // Seed writes, one tamper, then a long all-read tail: the tail forms
+    // maximal read runs per shard, and the tampered line forces the bulk
+    // path through its per-line fallback in exactly one of them.
+    let mut ops: Vec<Op> =
+        (0..96).map(|i| Op::Write { line: (i * 53) % lines, data: payload(i) }).collect();
+    ops.push(Op::TamperData { line: 53 % lines, offset: 9, mask: 0x10 });
+    ops.extend((0..300).map(|i| Op::Read { line: (i * 29) % lines }));
+    let (serial, serial_memory) = serial_outcomes(&ops, MIB);
+
+    for threads in THREAD_COUNTS {
+        let mut sharded = ShardedMemory::new(TreeConfig::morphtree(), MIB, KEY, SHARDS).unwrap();
+        let outcomes = sharded.run_batch(&ops, threads);
+        for (i, (got, want)) in outcomes.iter().zip(&serial).enumerate() {
+            assert_outcomes_match(i, got, want);
+        }
+        // Bulk authenticated read across shards: same verdict as the
+        // serial per-line sweep (the tampered line fails both), and on
+        // an untampered line set, byte-identical plaintexts in input
+        // order with duplicates preserved.
+        let all_lines: Vec<u64> = (0..lines).collect();
+        assert_eq!(
+            sharded.verify_and_read(&all_lines).err().map(|e| format!("{e}")),
+            serial_memory.verify_and_read(&all_lines).err().map(|e| format!("{e}")),
+            "{threads} threads: bulk verdicts diverged"
+        );
+        let clean: Vec<u64> = vec![1, 7, 1, 106, 7, 212];
+        let bulk = sharded.verify_and_read(&clean).unwrap();
+        for (i, &line) in clean.iter().enumerate() {
+            assert_eq!(
+                bulk[i],
+                sharded.read(line).unwrap(),
+                "{threads} threads: bulk read diverged at line {line}"
+            );
+        }
+    }
+}
+
 #[test]
 fn seeded_interleavings_are_schedule_invariant() {
     let lines = MIB / CACHELINE_BYTES as u64;

@@ -52,6 +52,14 @@ pub enum AesBackend {
     /// Hardware `AESENC` via [`crate::aes_ni`], with four-block software
     /// pipelining. Auto-selected when the CPU supports it.
     AesNi,
+    /// 512-bit `VAESENC` via [`crate::aes_vaes`]: four blocks per
+    /// register, sixteen per pipelined register set. Requires the full
+    /// `vaes && avx512f && avx512vl` conjunction (see the module docs
+    /// for why any single bit is not enough) and is opt-in
+    /// (`--crypto-backend vaes`): its win over AES-NI is cross-line
+    /// batch throughput, not per-line latency, so automatic selection
+    /// keeps the AES-NI default.
+    Vaes,
 }
 
 impl AesBackend {
@@ -62,6 +70,7 @@ impl AesBackend {
             AesBackend::Scalar => "scalar",
             AesBackend::TTable => "ttable",
             AesBackend::AesNi => "aesni",
+            AesBackend::Vaes => "vaes",
         }
     }
 
@@ -72,6 +81,7 @@ impl AesBackend {
             "scalar" => Some(AesBackend::Scalar),
             "ttable" => Some(AesBackend::TTable),
             "aesni" | "aes-ni" => Some(AesBackend::AesNi),
+            "vaes" => Some(AesBackend::Vaes),
             _ => None,
         }
     }
@@ -82,13 +92,14 @@ impl AesBackend {
         match self {
             AesBackend::Scalar | AesBackend::TTable => true,
             AesBackend::AesNi => aes_ni_available(),
+            AesBackend::Vaes => vaes_available(),
         }
     }
 
     /// Every backend runnable on the current CPU, reference first.
     #[must_use]
     pub fn all_available() -> Vec<AesBackend> {
-        [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi]
+        [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi, AesBackend::Vaes]
             .into_iter()
             .filter(|b| b.available())
             .collect()
@@ -111,6 +122,16 @@ fn aes_ni_available() -> bool {
     false
 }
 
+#[cfg(target_arch = "x86_64")]
+fn vaes_available() -> bool {
+    crate::aes_vaes::available()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn vaes_available() -> bool {
+    false
+}
+
 /// Process-wide backend override: 0 = auto, else `AesBackend` + 1.
 /// Relaxed ordering suffices — every value the cell can hold selects a
 /// bit-identical permutation, so racing readers can never observe
@@ -129,6 +150,7 @@ pub fn force_backend(backend: Option<AesBackend>) {
         Some(AesBackend::Scalar) => 1,
         Some(AesBackend::TTable) => 2,
         Some(AesBackend::AesNi) => 3,
+        Some(AesBackend::Vaes) => 4,
     };
     FORCED_BACKEND.store(encoded, Ordering::Relaxed);
 }
@@ -140,6 +162,7 @@ pub fn forced_backend() -> Option<AesBackend> {
         1 => Some(AesBackend::Scalar),
         2 => Some(AesBackend::TTable),
         3 => Some(AesBackend::AesNi),
+        4 => Some(AesBackend::Vaes),
         _ => None,
     }
 }
@@ -170,9 +193,12 @@ pub fn cpu_features() -> String {
     let mut features: Vec<&str> = Vec::new();
     #[cfg(target_arch = "x86_64")]
     {
-        // VAES/AVX-512 are probed and recorded (the 4-block 128-bit
-        // pipeline already saturates the AES unit on current cores, so
-        // they are not separate backends — see DESIGN §13).
+        // The three bits backing the `vaes` backend are probed
+        // independently here — `cpuid` reports them independently and
+        // real parts ship every combination — but backend availability
+        // requires the conjunction of all three (see
+        // [`crate::aes_vaes::available`]); any single bit is not enough
+        // to run 512-bit VAES code.
         if std::arch::is_x86_feature_detected!("aes") {
             features.push("aes");
         }
@@ -181,6 +207,9 @@ pub fn cpu_features() -> String {
         }
         if std::arch::is_x86_feature_detected!("avx512f") {
             features.push("avx512f");
+        }
+        if std::arch::is_x86_feature_detected!("avx512vl") {
+            features.push("avx512vl");
         }
         if std::arch::is_x86_feature_detected!("avx2") {
             features.push("avx2");
@@ -364,8 +393,15 @@ impl Aes128 {
             AesBackend::TTable => self.encrypt_block_ttable(block),
             #[cfg(target_arch = "x86_64")]
             AesBackend::AesNi => crate::aes_ni::encrypt_block(&self.round_keys, block),
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::Vaes => {
+                // VAES has no scalar form here; run the block through
+                // one four-lane register and keep lane 0. Single-block
+                // encryption is off the hot path for this backend.
+                crate::aes_vaes::encrypt_blocks4(&self.round_keys, &[*block; 4])[0]
+            }
             #[cfg(not(target_arch = "x86_64"))]
-            AesBackend::AesNi => self.encrypt_block_ttable(block),
+            AesBackend::AesNi | AesBackend::Vaes => self.encrypt_block_ttable(block),
         }
     }
 
@@ -380,12 +416,41 @@ impl Aes128 {
         match self.backend {
             #[cfg(target_arch = "x86_64")]
             AesBackend::AesNi => crate::aes_ni::encrypt_blocks4(&self.round_keys, blocks),
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::Vaes => crate::aes_vaes::encrypt_blocks4(&self.round_keys, blocks),
             _ => [
                 self.encrypt_block(&blocks[0]),
                 self.encrypt_block(&blocks[1]),
                 self.encrypt_block(&blocks[2]),
                 self.encrypt_block(&blocks[3]),
             ],
+        }
+    }
+
+    /// Encrypts sixteen independent 16-byte blocks — four cachelines'
+    /// worth of counter-mode pads — in one call.
+    ///
+    /// This is the cross-line batching entry point: the VAES backend
+    /// runs all sixteen blocks as four 512-bit register states sharing
+    /// each broadcast round key ([`crate::aes_vaes::encrypt_blocks16`]),
+    /// AES-NI falls back to four pipelined four-block calls, and the
+    /// software backends encrypt sequentially — the output is
+    /// bit-identical on every backend by construction and by test.
+    pub fn encrypt_blocks16(&self, blocks: &[[u8; 16]; 16]) -> [[u8; 16]; 16] {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::Vaes => crate::aes_vaes::encrypt_blocks16(&self.round_keys, blocks),
+            _ => {
+                let mut out = [[0u8; 16]; 16];
+                for (quad_out, quad_in) in
+                    out.chunks_exact_mut(4).zip(blocks.chunks_exact(4))
+                {
+                    let quad: [[u8; 16]; 4] =
+                        [quad_in[0], quad_in[1], quad_in[2], quad_in[3]];
+                    quad_out.copy_from_slice(&self.encrypt_blocks4(&quad));
+                }
+                out
+            }
         }
     }
 
@@ -587,6 +652,11 @@ mod tests {
                     [expect; 4],
                     "{backend} pipelined blocks"
                 );
+                assert_eq!(
+                    cipher.encrypt_blocks16(&[pt; 16]),
+                    [expect; 16],
+                    "{backend} 16-block batch"
+                );
             }
         }
     }
@@ -607,11 +677,42 @@ mod tests {
 
     #[test]
     fn backend_names_round_trip() {
-        for backend in [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi] {
+        for backend in
+            [AesBackend::Scalar, AesBackend::TTable, AesBackend::AesNi, AesBackend::Vaes]
+        {
             assert_eq!(AesBackend::parse(backend.as_str()), Some(backend));
         }
         assert_eq!(AesBackend::parse("aes-ni"), Some(AesBackend::AesNi));
         assert_eq!(AesBackend::parse("hardware"), None);
+    }
+
+    /// Satellite bugfix: `vaes` availability is the conjunction of all
+    /// three feature bits, never any single probe — a host with (say)
+    /// VAES but no AVX-512, or AVX512F without VL, must report the
+    /// backend unavailable so selection can reject it instead of
+    /// faulting at the first zmm instruction.
+    #[test]
+    fn vaes_availability_requires_the_full_feature_conjunction() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let conjunction = std::arch::is_x86_feature_detected!("vaes")
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl");
+            assert_eq!(AesBackend::Vaes.available(), conjunction);
+            // The recorded feature list stays per-bit (that is the point
+            // of recording it), so availability must never be inferred
+            // from any one listed bit.
+            let features = cpu_features();
+            if features.contains("vaes") && !conjunction {
+                assert!(!AesBackend::Vaes.available());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(!AesBackend::Vaes.available());
+        assert_eq!(
+            AesBackend::all_available().contains(&AesBackend::Vaes),
+            AesBackend::Vaes.available()
+        );
     }
 
     #[test]

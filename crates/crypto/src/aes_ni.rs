@@ -1,7 +1,8 @@
 //! Hardware AES-128 encryption via the x86-64 AES-NI instruction set.
 //!
-//! This is the **single audited `unsafe` module** of the crypto crate
-//! (the crate is otherwise `#![deny(unsafe_code)]`), following the same
+//! This is one of the crate's **two audited `unsafe` modules** (with
+//! [`crate::aes_vaes`]; the crate is otherwise `#![deny(unsafe_code)]`),
+//! following the same
 //! pattern as the metadata cache's AVX2 kernels: a runtime-probed fast
 //! path whose semantic specification is the portable code it replaces.
 //! The scalar and T-table paths in [`crate::aes`] remain the reference;

@@ -1,0 +1,230 @@
+//! Vectorized AES-128 encryption via VAES over 512-bit AVX-512 registers.
+//!
+//! This is the crate's **second audited `unsafe` module** (beside
+//! [`crate::aes_ni`]; the crate is otherwise `#![deny(unsafe_code)]`):
+//! `VAESENC` on a zmm register runs one AES round on **four independent
+//! 128-bit lanes at once**, so a 512-bit register set of four zmm states
+//! carries 16 blocks — four 64-byte cachelines — through the round
+//! chain together. The scalar and T-table paths in [`crate::aes`] remain
+//! the semantic reference; the FIPS-197 known-answer tests and the
+//! cross-backend property tests pin this path bit-identical to both.
+//!
+//! # Feature gate: the full conjunction, not any one flag
+//!
+//! `cpuid` reports `vaes`, `avx512f` and `avx512vl` as *independent*
+//! bits, and real parts ship every combination (Zen 3 has VAES with no
+//! AVX-512 at all; early Xeon Phi had AVX512F with neither VL nor VAES).
+//! The 512-bit form of `VAESENC` requires VAES *and* AVX512F, and once
+//! those features are enabled on a function the compiler is free to pick
+//! 128/256-bit VL encodings for the surrounding lane moves — so
+//! [`available`] demands the conjunction `vaes && avx512f && avx512vl`,
+//! matching exactly the `#[target_feature]` set the implementation
+//! bodies enable. Probing any single bit would select a backend that
+//! faults at the first zmm instruction on a partial-AVX-512 host.
+//!
+//! # Safety argument
+//!
+//! Every `unsafe` here is one of exactly two shapes, mirroring
+//! [`crate::aes_ni`]:
+//!
+//! 1. **ISA availability.** The `#[target_feature(enable =
+//!    "vaes,avx512f,avx512vl")]` functions execute zmm `VAESENC`/
+//!    `VAESENCLAST`, which fault on CPUs without the full feature set.
+//!    The safe wrappers ([`encrypt_blocks16`], [`encrypt_blocks4`])
+//!    assert [`available`] — cached `cpuid` probes of all three bits —
+//!    before entering the intrinsic body.
+//! 2. **Loads/stores of caller-owned arrays.** All pointer traffic is
+//!    `_mm512_loadu_si512`/`_mm512_storeu_si512` over `[[u8; 16]; N]`
+//!    arrays received by reference: the arrays are contiguous by
+//!    construction, each 64-byte access stays inside them, and the
+//!    unaligned variants carry no alignment precondition.
+//!
+//! No other invariants are trusted: round keys arrive pre-expanded from
+//! the shared portable FIPS-197 key schedule in [`crate::aes`], and
+//! nothing here allocates, caches, or writes globals.
+//!
+//! # Lane layout
+//!
+//! A zmm register holds blocks `[4i, 4i+1, 4i+2, 4i+3]` of the input
+//! array in its four 128-bit lanes, low lane first — i.e. plain memory
+//! order, so one unaligned 64-byte load/store moves a whole cacheline's
+//! four pad blocks and no cross-lane shuffle is ever needed. The round
+//! key is broadcast to all four lanes once per round
+//! (`_mm512_broadcast_i32x4`) and shared by all four states, so the
+//! 16-block form issues 40 `VAESENC`s where AES-NI needs 160
+//! `AESENC`s for the same work.
+
+use core::arch::x86_64::{
+    __m512i, _mm512_aesenc_epi128, _mm512_aesenclast_epi128, _mm512_broadcast_i32x4,
+    _mm512_loadu_si512, _mm512_storeu_si512, _mm512_xor_si512, _mm_loadu_si128,
+};
+
+/// Rounds in AES-128, mirroring [`crate::aes`].
+const ROUNDS: usize = 10;
+
+/// Runtime detection of the **full** 512-bit VAES feature set: `vaes`
+/// for the instruction, `avx512f` for the zmm form, `avx512vl` for the
+/// 128/256-bit encodings the compiler may mix in. Each probe is cached
+/// by `std` after the first `cpuid`.
+#[must_use]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("vaes")
+        && std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+}
+
+/// Encrypts four independent blocks — one 64-byte cacheline's pads — in
+/// a single zmm register (one `VAESENC` per round for all four lanes).
+///
+/// # Panics
+///
+/// Panics if the CPU lacks any of `vaes`/`avx512f`/`avx512vl`
+/// ([`available`] is false); backend selection never routes here in
+/// that case.
+#[must_use]
+pub fn encrypt_blocks4(
+    round_keys: &[[u8; 16]; ROUNDS + 1],
+    blocks: &[[u8; 16]; 4],
+) -> [[u8; 16]; 4] {
+    assert!(available(), "VAES backend selected without CPU support");
+    // SAFETY: the assert above proves `vaes`, `avx512f` and `avx512vl`
+    // are all available on this CPU.
+    unsafe { encrypt_blocks4_impl(round_keys, blocks) }
+}
+
+/// Encrypts sixteen independent blocks — four cachelines' pads — as four
+/// zmm states sharing each broadcast round key, with the four round
+/// chains interleaved to cover `VAESENC` latency.
+///
+/// # Panics
+///
+/// Panics if the CPU lacks any of `vaes`/`avx512f`/`avx512vl`
+/// ([`available`] is false); backend selection never routes here in
+/// that case.
+#[must_use]
+pub fn encrypt_blocks16(
+    round_keys: &[[u8; 16]; ROUNDS + 1],
+    blocks: &[[u8; 16]; 16],
+) -> [[u8; 16]; 16] {
+    assert!(available(), "VAES backend selected without CPU support");
+    // SAFETY: the assert above proves `vaes`, `avx512f` and `avx512vl`
+    // are all available on this CPU.
+    unsafe { encrypt_blocks16_impl(round_keys, blocks) }
+}
+
+/// Broadcasts one 16-byte round key to all four 128-bit lanes.
+///
+/// # Safety
+///
+/// Requires `avx512f` (checked by the public wrappers). The inner load
+/// reads exactly the 16 bytes of the array.
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn broadcast_key(key: &[u8; 16]) -> __m512i {
+    // SAFETY: `key` is a valid 16-byte array; loadu has no alignment
+    // requirement.
+    unsafe { _mm512_broadcast_i32x4(_mm_loadu_si128(key.as_ptr().cast())) }
+}
+
+/// Loads blocks `[4i .. 4i+4]` of `blocks` into one zmm register, lanes
+/// in memory order.
+///
+/// # Safety
+///
+/// Requires `avx512f` (checked by the public wrappers). `i` must be in
+/// bounds so the 64-byte load stays inside the array.
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn load4(blocks: &[[u8; 16]], i: usize) -> __m512i {
+    debug_assert!((i + 1) * 4 <= blocks.len());
+    // SAFETY: the caller keeps `4i + 4 <= blocks.len()`, so the 64 bytes
+    // read are inside the contiguous array; loadu has no alignment
+    // requirement.
+    unsafe { _mm512_loadu_si512(blocks.as_ptr().add(4 * i).cast()) }
+}
+
+/// Stores one zmm register to blocks `[4i .. 4i+4]` of `out`.
+///
+/// # Safety
+///
+/// Requires `avx512f` (checked by the public wrappers). `i` must be in
+/// bounds so the 64-byte store stays inside the array.
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn store4(out: &mut [[u8; 16]], i: usize, value: __m512i) {
+    debug_assert!((i + 1) * 4 <= out.len());
+    // SAFETY: the caller keeps `4i + 4 <= out.len()`, so the 64 bytes
+    // written are inside the contiguous array; storeu has no alignment
+    // requirement.
+    unsafe { _mm512_storeu_si512(out.as_mut_ptr().add(4 * i).cast(), value) }
+}
+
+/// One-register form: four lanes, ten shared-key rounds.
+///
+/// # Safety
+///
+/// The CPU must support `vaes`, `avx512f` and `avx512vl` (checked by
+/// the public wrappers).
+#[target_feature(enable = "vaes,avx512f,avx512vl")]
+unsafe fn encrypt_blocks4_impl(
+    round_keys: &[[u8; 16]; ROUNDS + 1],
+    blocks: &[[u8; 16]; 4],
+) -> [[u8; 16]; 4] {
+    // SAFETY: the target features hold for the whole body per the
+    // function's own target_feature contract; all loads/stores stay
+    // inside the caller's arrays.
+    unsafe {
+        let mut state = _mm512_xor_si512(load4(blocks, 0), broadcast_key(&round_keys[0]));
+        for rk in round_keys.iter().take(ROUNDS).skip(1) {
+            state = _mm512_aesenc_epi128(state, broadcast_key(rk));
+        }
+        state = _mm512_aesenclast_epi128(state, broadcast_key(&round_keys[ROUNDS]));
+        let mut out = [[0u8; 16]; 4];
+        store4(&mut out, 0, state);
+        out
+    }
+}
+
+/// Four-register form: 16 lanes total, round chains interleaved so the
+/// four dependent chains hide each other's `VAESENC` latency (the same
+/// software pipelining as [`crate::aes_ni::encrypt_blocks4`], one
+/// register width up).
+///
+/// # Safety
+///
+/// The CPU must support `vaes`, `avx512f` and `avx512vl` (checked by
+/// the public wrappers).
+#[target_feature(enable = "vaes,avx512f,avx512vl")]
+unsafe fn encrypt_blocks16_impl(
+    round_keys: &[[u8; 16]; ROUNDS + 1],
+    blocks: &[[u8; 16]; 16],
+) -> [[u8; 16]; 16] {
+    // SAFETY: the target features hold for the whole body per the
+    // function's own target_feature contract; all loads/stores stay
+    // inside the caller's arrays (indices 0..4 cover exactly 16 blocks).
+    unsafe {
+        let k0 = broadcast_key(&round_keys[0]);
+        let mut s0 = _mm512_xor_si512(load4(blocks, 0), k0);
+        let mut s1 = _mm512_xor_si512(load4(blocks, 1), k0);
+        let mut s2 = _mm512_xor_si512(load4(blocks, 2), k0);
+        let mut s3 = _mm512_xor_si512(load4(blocks, 3), k0);
+        for rk in round_keys.iter().take(ROUNDS).skip(1) {
+            let k = broadcast_key(rk);
+            s0 = _mm512_aesenc_epi128(s0, k);
+            s1 = _mm512_aesenc_epi128(s1, k);
+            s2 = _mm512_aesenc_epi128(s2, k);
+            s3 = _mm512_aesenc_epi128(s3, k);
+        }
+        let k = broadcast_key(&round_keys[ROUNDS]);
+        s0 = _mm512_aesenclast_epi128(s0, k);
+        s1 = _mm512_aesenclast_epi128(s1, k);
+        s2 = _mm512_aesenclast_epi128(s2, k);
+        s3 = _mm512_aesenclast_epi128(s3, k);
+        let mut out = [[0u8; 16]; 16];
+        store4(&mut out, 0, s0);
+        store4(&mut out, 1, s1);
+        store4(&mut out, 2, s2);
+        store4(&mut out, 3, s3);
+        out
+    }
+}

@@ -14,10 +14,11 @@
 //! SipHash paper.
 //!
 //! AES dispatches through a runtime-selected backend ([`aes::AesBackend`]):
-//! hardware AES-NI where the CPU supports it ([`aes_ni`], the crate's single
-//! audited `unsafe` module), with the portable T-table and scalar paths kept
-//! as always-available references pinned bit-identical by known-answer and
-//! property tests.
+//! hardware AES-NI where the CPU supports it ([`aes_ni`]) plus an opt-in
+//! 512-bit VAES path for cross-line batching ([`aes_vaes`]) — the crate's
+//! two audited `unsafe` modules — with the portable T-table and scalar
+//! paths kept as always-available references pinned bit-identical by
+//! known-answer and property tests.
 //!
 //! # Example
 //!
@@ -34,7 +35,7 @@
 //! assert_eq!(cipher.decrypt_line(line_addr, counter, &ciphertext), plaintext);
 //! ```
 
-// `deny` rather than `forbid` so the one audited hardware-intrinsics module
+// `deny` rather than `forbid` so the two audited hardware-intrinsics modules
 // below can opt back in; everything else in the crate stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +44,9 @@ pub mod aes;
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 pub mod aes_ni;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub mod aes_vaes;
 pub mod mac;
 pub mod otp;
 

@@ -100,6 +100,90 @@ proptest! {
         }
     }
 
+    /// The 16-block batch entry point equals sixteen single-block
+    /// encryptions on every available backend (VAES lanes included).
+    #[test]
+    fn blocks16_matches_single_blocks_on_every_backend(
+        key in any::<[u8; 16]>(),
+        block_vec in proptest::collection::vec(any::<[u8; 16]>(), 16..17),
+    ) {
+        let mut blocks = [[0u8; 16]; 16];
+        blocks.copy_from_slice(&block_vec);
+        let reference = Aes128::with_backend(&key, AesBackend::Scalar);
+        let expect: Vec<[u8; 16]> =
+            blocks.iter().map(|b| reference.encrypt_block(b)).collect();
+        for backend in AesBackend::all_available() {
+            let cipher = Aes128::with_backend(&key, backend);
+            let got = cipher.encrypt_blocks16(&blocks);
+            prop_assert_eq!(
+                got.as_slice(),
+                expect.as_slice(),
+                "{} 16-block batch", backend
+            );
+        }
+    }
+
+    /// Satellite bugfix pin: bulk pads are byte-identical to the
+    /// per-line scalar reference for arbitrary batch shapes — sizes off
+    /// the register width (the generator covers 0..=17, so empty, 1, 3,
+    /// 5 and 17 all occur), duplicate pairs, and unsorted order — on
+    /// every available backend.
+    #[test]
+    fn bulk_pads_match_per_line_for_arbitrary_batches(
+        key in any::<[u8; 16]>(),
+        lines in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..18),
+    ) {
+        // Line addresses are cacheline-aligned; counters carry 56 bits.
+        let lines: Vec<(u64, u64)> = lines
+            .iter()
+            .map(|&(a, c)| (a & !63, c & ((1 << 56) - 1)))
+            .collect();
+        let reference = CtrModeCipher::with_backend(key, AesBackend::Scalar);
+        for backend in AesBackend::all_available() {
+            let cipher = CtrModeCipher::with_backend(key, backend);
+            let pads = cipher.one_time_pads(&lines);
+            prop_assert_eq!(pads.len(), lines.len());
+            for (i, &(addr, ctr)) in lines.iter().enumerate() {
+                prop_assert_eq!(
+                    pads[i],
+                    reference.one_time_pad_reference(addr, ctr),
+                    "{} line {} of {}", backend, i, lines.len()
+                );
+            }
+        }
+    }
+
+    /// Bulk line encryption/decryption round-trips and equals the
+    /// per-line form entry by entry, for arbitrary batch shapes.
+    #[test]
+    fn bulk_line_encryption_matches_per_line(
+        key in any::<[u8; 16]>(),
+        entries in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<[u8; 64]>()), 0..10),
+    ) {
+        let lines: Vec<(u64, u64)> = entries
+            .iter()
+            .map(|&(a, c, _)| (a & !63, c & ((1 << 56) - 1)))
+            .collect();
+        let pts: Vec<[u8; 64]> = entries.iter().map(|&(_, _, d)| d).collect();
+        let reference = CtrModeCipher::with_backend(key, AesBackend::Scalar);
+        for backend in AesBackend::all_available() {
+            let cipher = CtrModeCipher::with_backend(key, backend);
+            let mut cts = vec![[0u8; 64]; lines.len()];
+            cipher.encrypt_lines_into(&lines, &pts, &mut cts);
+            for (i, &(addr, ctr)) in lines.iter().enumerate() {
+                prop_assert_eq!(
+                    cts[i],
+                    reference.encrypt_line(addr, ctr, &pts[i]),
+                    "{} ciphertext {}", backend, i
+                );
+            }
+            let mut round = vec![[0u8; 64]; lines.len()];
+            cipher.decrypt_lines_into(&lines, &cts, &mut round);
+            prop_assert_eq!(&round, &pts, "{} roundtrip", backend);
+        }
+    }
+
     /// Batched MAC verification equals the per-line MAC for arbitrary
     /// batches (the AES backend is irrelevant to SipHash, but the batch
     /// interleaving must not change a single tag bit).
